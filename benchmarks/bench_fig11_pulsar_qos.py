@@ -1,0 +1,43 @@
+"""Figure 11 — storage READ vs WRITE throughput under Pulsar.
+
+Regenerates the paper's three bar groups: isolated, simultaneous, and
+rate-controlled 64 KB IO throughput against a storage server behind a
+1 Gbps link.  Expected shape (Section 5.3): isolation gives both
+tenants the link; competition collapses WRITEs (the paper reports a
+72% drop); Pulsar's operation-size charging equalizes the tenants.
+"""
+
+import pytest
+
+from repro.experiments import fig11
+
+from conftest import record_result
+
+DURATION_MS = 200
+SCENARIOS = ("isolated", "simultaneous", "rate_controlled")
+
+_rows = {}
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_fig11(benchmark, scenario):
+    result = benchmark.pedantic(
+        fig11.run_storage,
+        kwargs=dict(scenario=scenario, seed=1,
+                    duration_ms=DURATION_MS),
+        rounds=1, iterations=1)
+    benchmark.extra_info["read_mbytes_per_s"] = \
+        result.read_mbytes_per_s
+    benchmark.extra_info["write_mbytes_per_s"] = \
+        result.write_mbytes_per_s
+    _rows[scenario] = result
+
+    if len(_rows) == len(SCENARIOS):
+        ordered = [_rows[s] for s in SCENARIOS]
+        record_result("Figure 11 — Pulsar storage QoS",
+                      fig11.format_results(ordered))
+        iso, sim, ctl = ordered
+        assert sim.write_mbytes_per_s < 0.5 * iso.write_mbytes_per_s
+        ratio = ctl.read_mbytes_per_s / max(1e-9,
+                                            ctl.write_mbytes_per_s)
+        assert 0.5 < ratio < 2.0

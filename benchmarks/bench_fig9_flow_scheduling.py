@@ -1,0 +1,48 @@
+"""Figure 9 — flow completion times under flow scheduling.
+
+Regenerates the paper's bars: average and 95th-percentile FCT of
+small (<10 KB) and intermediate (10 KB-1 MB) flows for {baseline,
+PIAS, SFF} x {native, EDEN}.  Expected shape (Section 5.1): enabling
+prioritization cuts small-flow FCT substantially (the paper reports
+25-40%); SFF is at least as good as PIAS; native vs EDEN differences
+are not meaningful.
+"""
+
+import pytest
+
+from repro.experiments import fig9
+
+from conftest import record_result
+
+DURATION_MS = 120
+CONFIGS = [(policy, variant)
+           for policy in ("baseline", "pias", "sff")
+           for variant in ("native", "eden")]
+
+_rows = {}
+
+
+@pytest.mark.parametrize("policy,variant", CONFIGS)
+def test_fig9(benchmark, policy, variant):
+    result = benchmark.pedantic(
+        fig9.run_flow_scheduling,
+        kwargs=dict(policy=policy, variant=variant, seed=1,
+                    duration_ms=DURATION_MS),
+        rounds=1, iterations=1)
+    benchmark.extra_info["small_avg_us"] = result.small_avg_us
+    benchmark.extra_info["small_p95_us"] = result.small_p95_us
+    benchmark.extra_info["mid_avg_us"] = result.mid_avg_us
+    benchmark.extra_info["mid_p95_us"] = result.mid_p95_us
+    _rows[(policy, variant)] = result
+    assert result.n_small > 100
+
+    if len(_rows) == len(CONFIGS):
+        ordered = [_rows[c] for c in CONFIGS]
+        record_result("Figure 9 — flow completion times",
+                      fig9.format_results(ordered))
+        # Shape assertions (paper Section 5.1).
+        base = _rows[("baseline", "native")]
+        for policy in ("pias", "sff"):
+            for variant in ("native", "eden"):
+                assert _rows[(policy, variant)].small_avg_us < \
+                    base.small_avg_us

@@ -1,0 +1,34 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper's
+evaluation and records its rows through :func:`record_result`; a
+terminal-summary hook prints every recorded artifact after the
+pytest-benchmark table, so ``pytest benchmarks/ --benchmark-only``
+shows the reproduced numbers without extra flags.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+_RESULTS = []
+
+
+def record_result(title, text):
+    """Store one experiment's formatted output for the summary."""
+    _RESULTS.append((title, text))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RESULTS:
+        return
+    terminalreporter.section("paper reproduction results")
+    for title, text in _RESULTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"== {title} ==")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

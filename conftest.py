@@ -1,0 +1,13 @@
+"""Root conftest: make the src layout importable without installation.
+
+This keeps ``pytest`` and the benchmark harness runnable even in
+offline environments where ``pip install -e .`` cannot complete (e.g.
+no ``wheel`` package available for PEP 517 editable builds).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

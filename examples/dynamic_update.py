@@ -1,0 +1,105 @@
+"""Dynamic data-plane updates and function composition (paper §3.4.3,
+§6).
+
+Two Eden properties that the interpreter design buys:
+
+1. **Hot updates** — the controller recompiles an action function and
+   swaps it into the enclave *while traffic flows*, without touching
+   the match-action rules or losing per-message state ("functions can
+   be updated dynamically by the controller without affecting
+   forwarding performance").
+2. **Composition** — two functions (a scheduler assigning 802.1q
+   priorities and a path selector assigning labels) chained through
+   match-action tables so every packet traverses both, in order.
+
+Run:  python examples/dynamic_update.py
+"""
+
+from repro.core import ChainLink, Controller, Enclave, FunctionChain
+from repro.core.stage import Classifier
+from repro.functions.pias import (PIAS_GLOBAL_SCHEMA,
+                                  PIAS_MESSAGE_SCHEMA, pias_action)
+from repro.functions.wcmp import WCMP_GLOBAL_SCHEMA, wcmp_action
+from repro.netsim import MS, Simulator, asymmetric_two_path
+from repro.netsim.routing import provision_labeled_paths
+from repro.stack import HostStack
+from repro.transport.sockets import MessageSocket
+from repro.apps.workloads import generic_app_stage
+
+
+def strict_two_band(packet, msg, _global):
+    """The v2 policy we hot-swap in: two bands only, hard cut."""
+    msg.size = msg.size + packet.size
+    if msg.size <= 20_000:
+        packet.priority = 7
+    else:
+        packet.priority = 1
+
+
+def main():
+    sim = Simulator(seed=3)
+    net = asymmetric_two_path(sim)
+    controller = Controller()
+    enclave = Enclave("h1.enclave", rng=sim.rng, clock=sim.clock)
+    controller.register_enclave("h1", enclave)
+    s1 = HostStack(sim, net.hosts["h1"], enclave=enclave,
+                   process_pure_acks=False)
+    s2 = HostStack(sim, net.hosts["h2"])
+
+    # -- composition: scheduler -> path selector -----------------------
+    chain = FunctionChain(controller, [
+        ChainLink(pias_action, name="pias",
+                  message_schema=PIAS_MESSAGE_SCHEMA,
+                  global_schema=PIAS_GLOBAL_SCHEMA),
+        ChainLink(wcmp_action, name="wcmp",
+                  global_schema=WCMP_GLOBAL_SCHEMA),
+    ])
+    tables = chain.deploy("h1")
+    print(f"composed pias -> wcmp through tables {tables}")
+
+    enclave.set_global_records("pias", "priorities",
+                               [(10_000, 7), (1_000_000, 6),
+                                (1 << 50, 5)])
+    provision_labeled_paths(net, "h1", "h2")
+    enclave.set_global_keyed(
+        "wcmp", "paths",
+        (net.host_ip("h1"), net.host_ip("h2")),
+        [1, 909, 2, 91])
+
+    # -- traffic ---------------------------------------------------------
+    stage = generic_app_stage()
+    stage.create_stage_rule("r1", Classifier.of(), "msg",
+                            ["msg_id", "msg_size", "priority"])
+    seen = []
+
+    def on_conn(conn):
+        conn.on_data = lambda c, total: seen.append(total)
+
+    s2.listen(6000, on_conn)
+    conn = s1.connect(net.host_ip("h2"), 6000)
+    socket = MessageSocket(conn, stage)
+    for _ in range(40):
+        socket.send(3000, attrs={"msg_type": "rpc", "priority": 7})
+    sim.run(until_ns=10 * MS)
+    v1_stats = enclave.stats_summary()
+    print(f"v1 policy: pias ran {v1_stats['pias']['invocations']}x, "
+          f"wcmp ran {v1_stats['wcmp']['invocations']}x on the same "
+          f"packets")
+
+    # -- hot update ------------------------------------------------------
+    print("\nhot-swapping the scheduler (rules and message state "
+          "survive)...")
+    controller.replace_function("h1", "pias", strict_two_band)
+    for _ in range(40):
+        socket.send(3000, attrs={"msg_type": "rpc", "priority": 7})
+    sim.run(until_ns=25 * MS)
+    v2_stats = enclave.stats_summary()
+    print(f"v2 policy: pias(+v2) total invocations "
+          f"{v2_stats['pias']['invocations']}, messages tracked "
+          f"{v2_stats['pias']['messages_tracked']}")
+    print(f"receiver saw {seen[-1] if seen else 0} bytes — traffic "
+          f"never stopped across the update.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Case study 2 (paper Section 5.2): WCMP on an asymmetric topology.
+
+Builds the Figure 1 topology (a 10 Gbps and a 1 Gbps path between two
+hosts), deploys per-packet weighted path selection in the sender's
+NIC enclave, and compares ECMP (equal weights) with WCMP (weights
+proportional to path capacity, 10:1).
+
+Run:  python examples/load_balancing.py
+"""
+
+from repro.experiments import fig10
+
+
+def main():
+    print("asymmetric two-path topology: 10 Gbps + 1 Gbps "
+          "(min-cut 11 Gbps)\n")
+    rows = []
+    for mode in ("ecmp", "wcmp"):
+        result = fig10.run_wcmp(mode=mode, variant="eden", seed=1,
+                                duration_ms=100, warmup_ms=20)
+        rows.append(result)
+        print(result.row())
+    ecmp, wcmp = rows
+    print(f"\nWCMP beats ECMP {wcmp.throughput_mbps / ecmp.throughput_mbps:.1f}x "
+          f"(paper: 3x) and stays below the 11 Gbps min-cut because "
+          f"per-packet spraying reorders TCP segments.")
+    print(f"WCMP sent {wcmp.fast_path_share:.0%} of packets on the "
+          f"fast path (target 10/11 = 91%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Quickstart: write an action function, install it, process packets.
+
+This walks the core Eden loop of the paper in ~60 lines:
+
+1. declare the state your function needs (message + global schemas
+   with lifetime/access annotations — paper Figure 8);
+2. write the data-plane function in the DSL (paper Figure 7);
+3. let the enclave compile it to bytecode, verify it, and install a
+   match-action rule;
+4. push global state from the controller side;
+5. process packets and watch the function act on them.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Enclave
+from repro.core.stage import Classification
+from repro.lang import AccessLevel, Field, FieldKind, Lifetime, schema
+
+# 1. State declarations ----------------------------------------------------
+
+MESSAGE_SCHEMA = schema("DemoMessage", Lifetime.MESSAGE, [
+    Field("size", AccessLevel.READ_WRITE),          # bytes seen so far
+    Field("priority", AccessLevel.READ_ONLY, default=7),
+])
+
+GLOBAL_SCHEMA = schema("DemoGlobal", Lifetime.GLOBAL, [
+    Field("priorities", AccessLevel.READ_ONLY, FieldKind.RECORD_ARRAY,
+          record_fields=("message_size_limit", "priority")),
+])
+
+
+# 2. The action function (paper Figure 7, PIAS-style demotion) -------------
+
+def priority_selection(packet, msg, _global):
+    """Demote a message's packets as its cumulative size grows."""
+    msg_size = msg.size + packet.size
+    msg.size = msg_size
+
+    def search(index):
+        if index >= len(_global.priorities):
+            return 0
+        elif msg_size <= _global.priorities[index].message_size_limit:
+            return _global.priorities[index].priority
+        else:
+            return search(index + 1)
+
+    desired = msg.priority
+    if desired < 1:
+        packet.priority = desired   # background flows keep low class
+    else:
+        packet.priority = search(0)
+
+
+# A minimal packet: any object exposing the packet-schema attributes.
+class Packet:
+    def __init__(self, size):
+        self.src_ip, self.dst_ip = 1, 2
+        self.src_port, self.dst_port, self.proto = 1000, 80, 6
+        self.size = size
+        self.priority = self.path_id = self.drop = 0
+        self.to_controller = self.queue_id = self.charge = 0
+        self.ecn = self.tenant = 0
+
+
+def main():
+    # 3. Compile + verify + install.
+    enclave = Enclave("quickstart.enclave")
+    fn = enclave.install_function(priority_selection,
+                                  message_schema=MESSAGE_SCHEMA,
+                                  global_schema=GLOBAL_SCHEMA)
+    enclave.install_rule("*", "priority_selection")
+    print("compiled to", sum(len(f.code) for f in fn.program.functions),
+          "bytecode instructions;")
+    print("concurrency model:", fn.concurrency.value,
+          "(derived from the write annotations)\n")
+    print(fn.program.disassemble()[:600], "...\n")
+
+    # 4. Controller pushes thresholds: <=10 KB -> 7, <=1 MB -> 6,
+    #    else 5.
+    enclave.set_global_records("priority_selection", "priorities",
+                               [(10_000, 7), (1_000_000, 6),
+                                (1 << 50, 5)])
+
+    # 5. Process a message's packets; watch the demotion.
+    cls = [Classification("app.r1.msg", {"msg_id": ("app", 1)})]
+    print("packet#  msg bytes   priority")
+    for i in range(1, 901):
+        packet = Packet(size=1514)
+        enclave.process_packet(packet, cls, now_ns=i)
+        if i in (1, 7, 8, 660, 661, 900):
+            print(f"{i:7d} {i * 1514:10d} {packet.priority:10d}")
+
+    stats = fn.stats
+    print(f"\n{stats.invocations} invocations, "
+          f"{stats.ops_executed / stats.invocations:.1f} ops/packet, "
+          f"stack {stats.max_stack_bytes} B, "
+          f"heap {stats.max_heap_bytes} B "
+          f"(paper Section 5.4: ~64 B / ~256 B)")
+
+
+if __name__ == "__main__":
+    main()

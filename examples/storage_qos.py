@@ -1,0 +1,32 @@
+"""Case study 3 (paper Section 5.3): datacenter QoS with Pulsar.
+
+Two tenants hammer a storage server behind a 1 Gbps link with 64 KB
+IOs — one READs, one WRITEs.  READ requests are tiny on the forward
+path, so the READ tenant floods the server's shared IO queue and
+starves the WRITEs.  Pulsar's enclave function charges each READ
+*request* by the operation size at the client's rate limiter, which
+restores isolation.
+
+Run:  python examples/storage_qos.py
+"""
+
+from repro.experiments import fig11
+
+
+def main():
+    print("two tenants, 64 KB IOs, storage server on a 1 Gbps "
+          "link\n")
+    results = fig11.run_all(seed=1, duration_ms=200)
+    for result in results:
+        print(result.row())
+    iso, sim, ctl = results
+    drop = 100 * (1 - sim.write_mbytes_per_s /
+                  iso.write_mbytes_per_s)
+    print(f"\ncompeting with READs costs WRITEs {drop:.0f}% of their "
+          f"throughput (paper: 72%);")
+    print("with Pulsar's operation-size charging the two tenants "
+          "equalize.")
+
+
+if __name__ == "__main__":
+    main()

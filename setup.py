@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The primary metadata lives in pyproject.toml.  This file exists so the
+package installs in environments without the ``wheel`` package (where
+pip's PEP 517 editable path fails): ``python setup.py develop`` or
+``pip install -e . --no-use-pep517 --no-build-isolation`` both work.
+"""
+
+from setuptools import setup
+
+setup()

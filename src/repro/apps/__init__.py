@@ -1,0 +1,22 @@
+"""Eden-compliant applications (stages) and workload generators."""
+
+from .http import HttpClient, HttpServer
+from .memcached import MemcachedClient, MemcachedServer, key_hash
+from .storage import (IO_SIZE, OP_READ, OP_WRITE, READ_PORT,
+                      REQUEST_BYTES, StorageClient, StorageServer,
+                      WRITE_PORT)
+from .workloads import (BulkSender, DATA_MINING_CDF, FlowSizeDistribution,
+                        INTERMEDIATE_FLOW_MAX, RequestResponseClient,
+                        RequestResponseServer, SEARCH_CDF,
+                        SMALL_FLOW_MAX, SinkServer, generic_app_stage,
+                        make_registry)
+
+__all__ = [
+    "BulkSender", "DATA_MINING_CDF", "FlowSizeDistribution", "HttpClient", "HttpServer",
+    "INTERMEDIATE_FLOW_MAX", "IO_SIZE", "MemcachedClient",
+    "MemcachedServer", "OP_READ", "OP_WRITE", "READ_PORT",
+    "REQUEST_BYTES", "RequestResponseClient", "RequestResponseServer",
+    "SEARCH_CDF", "SMALL_FLOW_MAX", "SinkServer", "StorageClient",
+    "StorageServer", "WRITE_PORT", "generic_app_stage", "key_hash",
+    "make_registry",
+]

@@ -1,0 +1,97 @@
+"""An HTTP-library stage and a tiny web workload (paper Table 2).
+
+The HTTP library classifies on ``<msg_type, url>`` and can emit
+``{msg_id, msg_type, url, msg_size}`` metadata.  The server maps URLs
+to response sizes; the client fetches URLs, one request per
+connection, and reports per-fetch latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.stage import Stage, http_stage
+from ..netsim.simulator import Simulator
+from ..stack.netstack import HostStack
+from ..transport.sockets import MessageSocket
+from ..transport.tcp import TcpConnection
+
+REQUEST_BYTES = 200
+DEFAULT_PORT = 80
+
+
+class HttpServer:
+    """Serves URL -> sized responses."""
+
+    def __init__(self, sim: Simulator, stack: HostStack,
+                 port: int = DEFAULT_PORT,
+                 stage: Optional[Stage] = None) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.stage = stage
+        self.site: Dict[str, int] = {"/": 10_000}
+        self.requests = 0
+        self._registry: Dict[Tuple, str] = {}
+        stack.listen(port, self._on_connection)
+
+    def add_resource(self, url: str, size: int) -> None:
+        self.site[url] = size
+
+    def register_request(self, flow_key: Tuple, url: str) -> None:
+        self._registry[flow_key] = url
+
+    def _on_connection(self, conn: TcpConnection) -> None:
+        def on_data(c: TcpConnection, delivered: int) -> None:
+            if delivered < REQUEST_BYTES or c.stats.bytes_sent > 0:
+                return
+            flow_key = (c.remote_ip, c.remote_port, c.local_ip,
+                        c.local_port, 6)
+            url = self._registry.pop(flow_key, "/")
+            size = self.site.get(url, 1000)
+            self.requests += 1
+            socket = MessageSocket(c, self.stage)
+            socket.send(size, attrs={"msg_type": "RESPONSE",
+                                     "url": url, "msg_size": size})
+            c.close()
+
+        conn.on_data = on_data
+
+
+class HttpClient:
+    """Fetches URLs through the HTTP-library stage."""
+
+    def __init__(self, sim: Simulator, stack: HostStack,
+                 server: HttpServer, server_ip: int,
+                 port: int = DEFAULT_PORT,
+                 stage: Optional[Stage] = None) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.server = server
+        self.server_ip = server_ip
+        self.port = port
+        self.stage = stage if stage is not None else http_stage()
+        self.fetches_done = 0
+
+    def fetch(self, url: str,
+              on_done: Optional[Callable[[str, int, int],
+                                         None]] = None
+              ) -> TcpConnection:
+        """Fetch ``url``; ``on_done(url, size, latency_ns)`` fires when
+        the full response arrived."""
+        conn = self.stack.connect(self.server_ip, self.port)
+        self.server.register_request(conn.five_tuple, url)
+        expected = self.server.site.get(url, 1000)
+        started = self.sim.now
+
+        def on_data(c: TcpConnection, delivered: int) -> None:
+            if delivered >= expected:
+                self.fetches_done += 1
+                if on_done:
+                    on_done(url, expected, self.sim.now - started)
+                c.close()
+
+        conn.on_data = on_data
+        socket = MessageSocket(conn, self.stage)
+        socket.send(REQUEST_BYTES,
+                    attrs={"msg_type": "GET", "url": url})
+        return conn

@@ -1,0 +1,153 @@
+"""A memcached-like key-value application (the paper's running
+example).
+
+The client issues GET and PUT operations over TCP; every operation is
+one Eden *message*, classified by the memcached stage of Table 2 on
+``<msg_type, key>`` with ``{msg_id, msg_type, key, msg_size}``
+metadata.  A GET's response carries the value size; a PUT carries the
+value to the server and gets a small ack.
+
+Values are sized, not stored byte-for-byte: the server keeps a map
+from key to value size, which is all the simulator needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core.stage import Stage, memcached_stage
+from ..netsim.simulator import Simulator
+from ..stack.netstack import HostStack
+from ..transport.sockets import MessageSocket
+from ..transport.tcp import TcpConnection
+
+GET_REQUEST_BYTES = 64
+PUT_ACK_BYTES = 8
+DEFAULT_PORT = 11211
+
+
+def key_hash(key: str) -> int:
+    """A deterministic non-negative hash of a key (FNV-1a, 32-bit)."""
+    h = 0x811C9DC5
+    for ch in key.encode():
+        h ^= ch
+        h = (h * 0x01000193) & 0xFFFFFFFF
+    return h
+
+
+class MemcachedServer:
+    """Stores key -> value-size and answers GET/PUT messages."""
+
+    def __init__(self, sim: Simulator, stack: HostStack,
+                 port: int = DEFAULT_PORT,
+                 stage: Optional[Stage] = None) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.stage = stage
+        self.store: Dict[str, int] = {}
+        self.gets = 0
+        self.puts = 0
+        self._registry: Dict[Tuple, Tuple[str, str, int]] = {}
+        stack.listen(port, self._on_connection)
+
+    def register_op(self, flow_key: Tuple, op: str, key: str,
+                    size: int) -> None:
+        """Side channel for request parameters (no payload bytes in
+        the simulator); keyed by the client connection's five-tuple."""
+        self._registry[flow_key] = (op, key, size)
+
+    def _on_connection(self, conn: TcpConnection) -> None:
+        state = {"consumed": 0}
+
+        def on_data(c: TcpConnection, delivered: int) -> None:
+            flow_key = (c.remote_ip, c.remote_port, c.local_ip,
+                        c.local_port, 6)
+            op_info = self._registry.get(flow_key)
+            if op_info is None:
+                return
+            op, key, size = op_info
+            expected = GET_REQUEST_BYTES if op == "GET" else size
+            if delivered - state["consumed"] < expected:
+                return
+            state["consumed"] += expected
+            del self._registry[flow_key]
+            socket = MessageSocket(c, self.stage)
+            if op == "GET":
+                self.gets += 1
+                value_size = self.store.get(key, 128)
+                socket.send(value_size,
+                            attrs={"msg_type": "GET_RESPONSE",
+                                   "key": key,
+                                   "msg_size": value_size})
+            else:
+                self.puts += 1
+                self.store[key] = size
+                socket.send(PUT_ACK_BYTES,
+                            attrs={"msg_type": "PUT_ACK", "key": key})
+            c.close()
+
+        conn.on_data = on_data
+
+
+class MemcachedClient:
+    """Issues one GET or PUT per connection, memcached-stage
+    classified."""
+
+    def __init__(self, sim: Simulator, stack: HostStack,
+                 server: MemcachedServer, server_ip: int,
+                 port: int = DEFAULT_PORT,
+                 stage: Optional[Stage] = None) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.server = server
+        self.server_ip = server_ip
+        self.port = port
+        self.stage = stage if stage is not None else memcached_stage()
+        self.completed: Dict[str, int] = {"GET": 0, "PUT": 0}
+
+    def get(self, key: str,
+            on_value: Optional[Callable[[str, int, int], None]] = None
+            ) -> TcpConnection:
+        """GET ``key``; ``on_value(key, size, fct_ns)`` on completion."""
+        conn = self.stack.connect(self.server_ip, self.port)
+        self.server.register_op(conn.five_tuple, "GET", key, 0)
+        started = self.sim.now
+        expected = self.server.store.get(key, 128)
+
+        def on_data(c: TcpConnection, delivered: int) -> None:
+            if delivered >= expected:
+                self.completed["GET"] += 1
+                if on_value:
+                    on_value(key, expected, self.sim.now - started)
+                c.close()
+
+        conn.on_data = on_data
+        socket = MessageSocket(conn, self.stage)
+        socket.send(GET_REQUEST_BYTES,
+                    attrs={"msg_type": "GET", "key": key,
+                           "key_hash": key_hash(key)})
+        return conn
+
+    def put(self, key: str, value_size: int,
+            on_ack: Optional[Callable[[str, int], None]] = None
+            ) -> TcpConnection:
+        """PUT ``value_size`` bytes under ``key``."""
+        conn = self.stack.connect(self.server_ip, self.port)
+        self.server.register_op(conn.five_tuple, "PUT", key,
+                                value_size)
+        started = self.sim.now
+
+        def on_data(c: TcpConnection, delivered: int) -> None:
+            if delivered >= PUT_ACK_BYTES:
+                self.completed["PUT"] += 1
+                if on_ack:
+                    on_ack(key, self.sim.now - started)
+                c.close()
+
+        conn.on_data = on_data
+        socket = MessageSocket(conn, self.stage)
+        socket.send(value_size,
+                    attrs={"msg_type": "PUT", "key": key,
+                           "key_hash": key_hash(key),
+                           "msg_size": value_size})
+        return conn

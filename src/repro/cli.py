@@ -1,0 +1,154 @@
+"""Command-line front end: ``python -m repro <experiment> [options]``.
+
+Runs any of the paper-reproduction experiments without writing code:
+
+    python -m repro table1
+    python -m repro fig9  --duration-ms 120 --seed 1
+    python -m repro fig10 --duration-ms 100
+    python -m repro fig11 --duration-ms 200
+    python -m repro fig12 --duration-ms 20
+    python -m repro micro --packets 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args) -> int:
+    from .functions.library import format_table, run_demos, table1
+    print(format_table())
+    results = run_demos(backend=args.backend)
+    failed = [name for name, ok in results.items() if not ok]
+    print(f"\n{len(results) - len(failed)}/{len(results)} demos "
+          f"passed ({args.backend}).")
+    if failed:
+        print("FAILED:", ", ".join(failed))
+        return 1
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    from .experiments import fig9
+    results = fig9.run_all(seed=args.seed,
+                           duration_ms=args.duration_ms)
+    print(fig9.format_results(results))
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    from .experiments import fig10
+    results = fig10.run_all(seed=args.seed,
+                            duration_ms=args.duration_ms)
+    print(fig10.format_results(results))
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    from .experiments import fig11
+    results = fig11.run_all(seed=args.seed,
+                            duration_ms=args.duration_ms)
+    print(fig11.format_results(results))
+    return 0
+
+
+def _cmd_fig12(args) -> int:
+    from .experiments import fig12
+    result = fig12.run_overheads(seed=args.seed,
+                                 duration_ms=args.duration_ms)
+    print(fig12.format_result(result))
+    return 0
+
+
+def _cmd_micro(args) -> int:
+    from .experiments import micro
+    results = micro.run_micro(packets=args.packets)
+    print(micro.format_results(results))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Regenerate the full evaluation into one markdown report."""
+    from .experiments import fig9, fig10, fig11, fig12, micro
+    from .functions.library import format_table, run_demos
+
+    sections = []
+
+    def add(title, body):
+        sections.append(f"## {title}\n\n```\n{body}\n```\n")
+        print(f"[done] {title}")
+
+    print("regenerating the full evaluation "
+          f"(seed {args.seed}; this takes several minutes)...")
+    demos = run_demos()
+    add("Table 1 — coverage",
+        format_table() + f"\n\n{sum(demos.values())}/{len(demos)} "
+        f"demos passed")
+    add("Section 5.4 — interpreter micro",
+        micro.format_results(micro.run_micro()))
+    add("Figure 12 — CPU overheads",
+        fig12.format_result(fig12.run_overheads(seed=args.seed)))
+    add("Figure 11 — Pulsar storage QoS",
+        fig11.format_results(fig11.run_all(seed=args.seed)))
+    add("Figure 10 — ECMP vs WCMP",
+        fig10.format_results(fig10.run_all(seed=args.seed)))
+    add("Figure 9 — flow scheduling",
+        fig9.format_results(fig9.run_all(seed=args.seed)))
+
+    body = ("# Eden reproduction report\n\n"
+            f"Seed {args.seed}. Regenerate with "
+            f"`python -m repro report --seed {args.seed}`.\n\n" +
+            "\n".join(sections))
+    with open(args.out, "w") as handle:
+        handle.write(body)
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "table1": (_cmd_table1, "Table 1 coverage matrix + demos"),
+    "fig9": (_cmd_fig9, "flow scheduling FCTs"),
+    "fig10": (_cmd_fig10, "ECMP vs WCMP throughput"),
+    "fig11": (_cmd_fig11, "Pulsar storage QoS"),
+    "fig12": (_cmd_fig12, "Eden CPU overheads"),
+    "micro": (_cmd_micro, "interpreter microbenchmarks"),
+    "report": (_cmd_report, "run everything, write a markdown report"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation of 'Enabling End-host "
+                    "Network Functions' (SIGCOMM 2015).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, (_, help_text) in _COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--seed", type=int, default=1)
+        if name in ("fig9", "fig10", "fig11", "fig12"):
+            default = {"fig9": 120, "fig10": 100, "fig11": 200,
+                       "fig12": 20}[name]
+            p.add_argument("--duration-ms", type=int,
+                           default=default,
+                           help="simulated milliseconds per run")
+        if name == "micro":
+            p.add_argument("--packets", type=int, default=300)
+        if name == "table1":
+            p.add_argument("--backend", default="interpreter",
+                           choices=("interpreter", "native"))
+        if name == "report":
+            p.add_argument("--out", default="report.md",
+                           help="output markdown path")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler, _ = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

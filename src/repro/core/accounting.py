@@ -1,0 +1,55 @@
+"""CPU accounting for the Eden data path (paper Figure 12).
+
+The paper decomposes Eden's CPU overhead into three components measured
+against a vanilla TCP stack: *API* (passing metadata information to the
+enclave), *enclave* (classification matching plus state preparation and
+commit), and *interpreter* (executing the action function bytecode).
+
+:class:`CpuAccounting` collects per-packet wall-clock samples for each
+bucket; consumers compute averages/percentiles relative to a baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+
+BUCKETS = ("api", "enclave", "interpreter", "native")
+
+
+class CpuAccounting:
+    """Accumulates per-packet processing-time samples per component."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.samples: Dict[str, List[int]] = {b: [] for b in BUCKETS}
+
+    def record(self, bucket: str, elapsed_ns: int) -> None:
+        if self.enabled:
+            self.samples[bucket].append(elapsed_ns)
+
+    def now(self) -> int:
+        return time.perf_counter_ns() if self.enabled else 0
+
+    def totals(self) -> Dict[str, int]:
+        return {b: sum(v) for b, v in self.samples.items()}
+
+    def counts(self) -> Dict[str, int]:
+        return {b: len(v) for b, v in self.samples.items()}
+
+    def mean_ns(self, bucket: str) -> float:
+        values = self.samples[bucket]
+        return sum(values) / len(values) if values else 0.0
+
+    def percentile_ns(self, bucket: str, pct: float) -> float:
+        values = sorted(self.samples[bucket])
+        if not values:
+            return 0.0
+        rank = min(len(values) - 1,
+                   max(0, int(round(pct / 100.0 * (len(values) - 1)))))
+        return float(values[rank])
+
+    def reset(self) -> None:
+        for bucket in self.samples:
+            self.samples[bucket].clear()

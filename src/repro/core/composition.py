@@ -1,0 +1,129 @@
+"""Action-function composition (paper Section 6).
+
+"Network functions, however, can interact in arbitrary ways, hence,
+it is an open question to define the semantics of function
+composition.  One option is to impose a hierarchy ... or apply
+priorities to functions which define the execution order."
+
+:class:`FunctionChain` realizes that option on top of the enclave's
+table chaining: each composed function gets its own match-action
+table, wired with ``next_table`` links in the declared order, so every
+packet traverses the functions as a fixed pipeline (e.g. a scheduling
+function assigning priorities followed by a load-balancing function
+picking paths).  Composition conflicts — two functions writing the
+same packet field — are detected at deployment time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..lang.annotations import Schema
+from .controller import Controller
+from .enclave import EnclaveError
+
+
+class CompositionError(Exception):
+    """The requested chain is inconsistent."""
+
+
+@dataclass
+class ChainLink:
+    """One stage of a function pipeline."""
+
+    source_fn: Callable
+    name: Optional[str] = None
+    pattern: str = "*"
+    message_schema: Optional[Schema] = None
+    global_schema: Optional[Schema] = None
+    backend: str = "interpreter"
+
+    @property
+    def function_name(self) -> str:
+        return self.name or getattr(self.source_fn, "__name__",
+                                    "action")
+
+
+class FunctionChain:
+    """Deploys an ordered pipeline of action functions at enclaves.
+
+    The head link's rules live in table 0; each further link gets a
+    table allocated from ``first_table`` upward, wired via
+    ``next_table``.  A packet whose classes miss a link's pattern
+    ends its walk at that table (OpenFlow semantics), so chains that
+    must see all traffic should use the ``"*"`` pattern per link and
+    do their own class dispatch inside the function.
+    """
+
+    def __init__(self, controller: Controller,
+                 links: Sequence[ChainLink],
+                 first_table: int = 10) -> None:
+        if not links:
+            raise CompositionError("a chain needs at least one link")
+        names = [link.function_name for link in links]
+        if len(names) != len(set(names)):
+            raise CompositionError(
+                f"duplicate function names in chain: {names}")
+        self.controller = controller
+        self.links = list(links)
+        self.first_table = first_table
+        self._check_write_conflicts()
+
+    def _check_write_conflicts(self) -> None:
+        """Two links writing the same packet field is almost always a
+        composition bug (the later silently wins); reject it."""
+        from ..lang import ast_nodes as T
+        from ..lang.dsl import lower
+
+        writers: Dict[str, str] = {}
+        for link in self.links:
+            prog = lower(link.source_fn,
+                         packet_schema=_packet_schema(),
+                         message_schema=link.message_schema,
+                         global_schema=link.global_schema)
+            for fn in prog.functions:
+                for stmt in T.walk_stmts(fn.body):
+                    if isinstance(stmt, T.AssignState) and \
+                            stmt.scope == "packet":
+                        prior = writers.get(stmt.name)
+                        if prior is not None and \
+                                prior != link.function_name:
+                            raise CompositionError(
+                                f"both {prior!r} and "
+                                f"{link.function_name!r} write "
+                                f"packet.{stmt.name}; order the "
+                                f"chain explicitly or drop one")
+                        writers[stmt.name] = link.function_name
+
+    def deploy(self, host: str) -> List[int]:
+        """Install tables, functions and rules at one host's enclave.
+
+        The chain head lives in table 0 (so it sees every packet);
+        each subsequent link gets its own table, linked with
+        ``next_table``.  Returns the table ids, in execution order.
+        """
+        enclave = self.controller.enclave(host)
+        table_ids = [0] + [self.first_table + i
+                           for i in range(len(self.links) - 1)]
+        for table_id in table_ids[1:]:
+            if table_id not in enclave.query_tables():
+                enclave.create_table(table_id)
+        for i, link in enumerate(self.links):
+            if link.function_name not in enclave.functions():
+                enclave.install_function(
+                    link.source_fn, name=link.function_name,
+                    message_schema=link.message_schema,
+                    global_schema=link.global_schema,
+                    backend=link.backend)
+            next_table = (table_ids[i + 1]
+                          if i + 1 < len(table_ids) else None)
+            enclave.install_rule(link.pattern, link.function_name,
+                                 table_id=table_ids[i],
+                                 next_table=next_table)
+        return table_ids
+
+
+def _packet_schema():
+    from ..lang.annotations import DEFAULT_PACKET_SCHEMA
+    return DEFAULT_PACKET_SCHEMA

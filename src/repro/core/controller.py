@@ -1,0 +1,235 @@
+"""The logically centralized Eden controller.
+
+Section 3.2: a network function is conceptually a control-plane part —
+anything needing global visibility or coarse timescales — plus a
+data-plane part executed by stages and enclaves.  The controller hosts
+the former and programs the latter through the Stage API (Table 3) and
+the enclave API.
+
+This module provides:
+
+* a registry of the stages and enclaves at every end host, with
+  API passthroughs so network-function deployments address them by
+  host id;
+* the control-plane computations used by the paper's case studies —
+  WCMP path weights from topology (Section 2.1.1), PIAS priority
+  thresholds from the flow-size distribution (Section 2.1.3), and
+  Pulsar's tenant queue map (Section 2.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Dict, Iterable, List, Sequence, Tuple, Union)
+
+from .enclave import Enclave, InstalledFunction
+from .stage import Classifier, Stage, StageInfo
+
+
+class ControllerError(Exception):
+    """A controller operation referenced an unknown host/stage/enclave."""
+
+
+@dataclass(frozen=True)
+class PathWeight:
+    """One weighted path between a source-destination pair.
+
+    ``weight`` is an integer share out of the row's total (the paper's
+    probability, scaled); ``path_id`` is the source-routing label the
+    end host puts in the packet (VLAN tag in the prototype,
+    Section 3.5).
+    """
+
+    path_id: int
+    weight: int
+
+
+class Controller:
+    """Coordination point with global visibility."""
+
+    def __init__(self, name: str = "controller") -> None:
+        self.name = name
+        self._enclaves: Dict[str, Enclave] = {}
+        self._stages: Dict[Tuple[str, str], Stage] = {}
+
+    # -- registry ----------------------------------------------------------
+
+    def register_enclave(self, host: str, enclave: Enclave) -> None:
+        if host in self._enclaves:
+            raise ControllerError(
+                f"host {host!r} already has an enclave")
+        self._enclaves[host] = enclave
+
+    def register_stage(self, host: str, stage: Stage) -> None:
+        key = (host, stage.name)
+        if key in self._stages:
+            raise ControllerError(
+                f"stage {stage.name!r} already registered at {host!r}")
+        self._stages[key] = stage
+
+    def enclave(self, host: str) -> Enclave:
+        try:
+            return self._enclaves[host]
+        except KeyError:
+            raise ControllerError(
+                f"no enclave registered for host {host!r}") from None
+
+    def stage(self, host: str, stage_name: str) -> Stage:
+        try:
+            return self._stages[(host, stage_name)]
+        except KeyError:
+            raise ControllerError(
+                f"no stage {stage_name!r} at host {host!r}") from None
+
+    def hosts(self) -> List[str]:
+        return sorted(self._enclaves)
+
+    def stages_at(self, host: str) -> List[str]:
+        return sorted(name for (h, name) in self._stages if h == host)
+
+    # -- Stage API passthrough (paper Table 3) ------------------------------
+
+    def get_stage_info(self, host: str, stage_name: str) -> StageInfo:
+        return self.stage(host, stage_name).get_stage_info()
+
+    def create_stage_rule(self, host: str, stage_name: str,
+                          rule_set: str, classifier: Classifier,
+                          class_name: str,
+                          metadata_fields: Sequence[str]) -> int:
+        return self.stage(host, stage_name).create_stage_rule(
+            rule_set, classifier, class_name, metadata_fields)
+
+    def remove_stage_rule(self, host: str, stage_name: str,
+                          rule_set: str, rule_id: int) -> None:
+        self.stage(host, stage_name).remove_stage_rule(rule_set, rule_id)
+
+    # -- enclave API passthrough -------------------------------------------
+
+    def install_function(self, hosts: Union[str, Iterable[str]],
+                         source_fn, **kwargs) -> List[InstalledFunction]:
+        """Install an action function at one or many hosts."""
+        installed = []
+        for host in self._host_list(hosts):
+            installed.append(
+                self.enclave(host).install_function(source_fn, **kwargs))
+        return installed
+
+    def install_rule(self, hosts: Union[str, Iterable[str]],
+                     pattern: str, function: str,
+                     **kwargs) -> List[int]:
+        return [self.enclave(h).install_rule(pattern, function, **kwargs)
+                for h in self._host_list(hosts)]
+
+    def set_global(self, hosts: Union[str, Iterable[str]],
+                   function: str, name: str, value: int) -> None:
+        for host in self._host_list(hosts):
+            self.enclave(host).set_global(function, name, value)
+
+    def set_global_records(self, hosts: Union[str, Iterable[str]],
+                           function: str, name: str,
+                           records: Sequence[Sequence[int]]) -> None:
+        for host in self._host_list(hosts):
+            self.enclave(host).set_global_records(function, name,
+                                                  records)
+
+    def set_global_keyed(self, hosts: Union[str, Iterable[str]],
+                         function: str, name: str, key: tuple,
+                         values: Sequence[int]) -> None:
+        for host in self._host_list(hosts):
+            self.enclave(host).set_global_keyed(function, name, key,
+                                                values)
+
+    def collect_stats(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """Monitoring sweep: per-host, per-function counters.
+
+        The network-side analog of the "statistics gathering
+        capabilities" the paper notes switches already expose
+        (Section 3.5) — here the controller polls its enclaves.
+        """
+        return {host: enclave.stats_summary()
+                for host, enclave in self._enclaves.items()}
+
+    def replace_function(self, hosts: Union[str, Iterable[str]],
+                         name: str, source_fn, **kwargs) -> None:
+        """Hot-swap a function's program at one or many hosts,
+        preserving data-plane state (Section 3.4.3's dynamic
+        updates)."""
+        for host in self._host_list(hosts):
+            self.enclave(host).replace_function(name, source_fn,
+                                                **kwargs)
+
+    def _host_list(self, hosts: Union[str, Iterable[str]]) -> List[str]:
+        if isinstance(hosts, str):
+            if hosts == "*":
+                return self.hosts()
+            return [hosts]
+        return list(hosts)
+
+    # -- control-plane computations ------------------------------------------
+
+    @staticmethod
+    def wcmp_weights(path_capacities: Sequence[Tuple[int, float]],
+                     scale: int = 1000) -> List[PathWeight]:
+        """Compute WCMP weights from per-path bottleneck capacities.
+
+        ``path_capacities`` is a list of ``(path_id, capacity)``; the
+        returned integer weights are proportional to capacity and sum
+        to ``scale`` (give or take rounding, corrected on the largest
+        entry).  With equal capacities this degenerates to ECMP.
+        """
+        if not path_capacities:
+            raise ControllerError("no paths given")
+        total = float(sum(c for _, c in path_capacities))
+        if total <= 0:
+            raise ControllerError("path capacities must be positive")
+        weights = [PathWeight(pid, int(round(scale * c / total)))
+                   for pid, c in path_capacities]
+        drift = scale - sum(w.weight for w in weights)
+        if drift:
+            largest = max(range(len(weights)),
+                          key=lambda i: weights[i].weight)
+            weights[largest] = PathWeight(
+                weights[largest].path_id,
+                weights[largest].weight + drift)
+        return weights
+
+    @staticmethod
+    def pias_thresholds(flow_sizes: Sequence[int],
+                        num_priorities: int = 3,
+                        max_priority: int = 7) -> List[Tuple[int, int]]:
+        """Compute PIAS demotion thresholds from observed flow sizes.
+
+        Returns ``(size_limit, priority)`` rows, highest priority
+        first, splitting the flow-size distribution into
+        ``num_priorities`` equal-probability bands ("these thresholds
+        need to be calculated periodically based on the datacenter's
+        overall traffic load", Section 2.1.3).  The last band is
+        unbounded (represented by a huge limit) at the lowest of the
+        chosen priorities.
+        """
+        if num_priorities < 2:
+            raise ControllerError("need at least two priority levels")
+        if not flow_sizes:
+            raise ControllerError("no flow-size samples")
+        ordered = sorted(flow_sizes)
+        rows: List[Tuple[int, int]] = []
+        for band in range(num_priorities - 1):
+            quantile = (band + 1) / num_priorities
+            idx = min(len(ordered) - 1,
+                      int(quantile * len(ordered)))
+            rows.append((ordered[idx],
+                         max_priority - band))
+        rows.append((1 << 62, max_priority - (num_priorities - 1)))
+        # Make limits strictly non-decreasing.
+        for i in range(1, len(rows)):
+            if rows[i][0] < rows[i - 1][0]:
+                rows[i] = (rows[i - 1][0], rows[i][1])
+        return rows
+
+    @staticmethod
+    def tenant_queue_map(tenants: Sequence[str],
+                         base_queue: int = 1) -> Dict[str, int]:
+        """Assign each tenant a rate-limited queue id (Pulsar's
+        ``queueMap``)."""
+        return {tenant: base_queue + i
+                for i, tenant in enumerate(sorted(tenants))}

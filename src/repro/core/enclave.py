@@ -1,0 +1,706 @@
+"""The Eden enclave: a programmable data plane at the end host.
+
+Section 3.4: the enclave resides along the end-host network stack
+(in the OS or on a programmable NIC) and comprises (1) match-action
+tables that, based on a packet's *class*, determine an *action
+function* to apply, and (2) a runtime that executes those functions.
+
+Unlike OpenFlow, matching is on class names assigned by stages (or by
+the enclave's own five-tuple classifier), and the action is a real
+program — compiled to bytecode and interpreted — that can read and
+modify packet, message and global state under the declared access
+annotations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
+
+from ..lang import ast_nodes as T
+from ..lang.annotations import (DEFAULT_PACKET_SCHEMA,
+                                Field, Schema)
+from ..lang.bytecode import Program
+from ..lang.compiler import compile_action
+from ..lang.interpreter import (ExecResult, Interpreter,
+                                InterpreterFault)
+from ..lang.native import NativeFunction
+from ..lang.verifier import verify
+from .accounting import CpuAccounting
+from .stage import Classification, Stage
+from .state import (ConcurrencyLevel, GlobalStore, MessageStore,
+                    StateError, concurrency_of)
+
+
+class EnclaveError(Exception):
+    """A controller request to the enclave was invalid."""
+
+
+class ConcurrencyViolation(EnclaveError):
+    """The enclave's concurrency model would be violated."""
+
+
+class ConcurrencyGuard:
+    """Enforces the admissible parallelism of Section 3.4.4.
+
+    ``PARALLEL`` functions admit any number of in-flight invocations;
+    ``PER_MESSAGE`` at most one per message key; ``SERIAL`` one total.
+    The simulator is single-threaded, so in normal operation acquire and
+    release bracket each invocation without contention — but the guard
+    is real, and the test suite exercises it with overlapping holds.
+    """
+
+    def __init__(self, level: ConcurrencyLevel) -> None:
+        self.level = level
+        self._in_flight_total = 0
+        self._in_flight_msgs: Dict[object, int] = {}
+
+    def acquire(self, msg_key: object) -> None:
+        if self.level is ConcurrencyLevel.SERIAL and \
+                self._in_flight_total > 0:
+            raise ConcurrencyViolation(
+                "function writes global state: only one invocation "
+                "may run at a time")
+        if self.level is ConcurrencyLevel.PER_MESSAGE and \
+                self._in_flight_msgs.get(msg_key, 0) > 0:
+            raise ConcurrencyViolation(
+                f"function writes message state: message {msg_key!r} "
+                f"already has an invocation in flight")
+        self._in_flight_total += 1
+        self._in_flight_msgs[msg_key] = \
+            self._in_flight_msgs.get(msg_key, 0) + 1
+
+    def release(self, msg_key: object) -> None:
+        self._in_flight_total -= 1
+        remaining = self._in_flight_msgs.get(msg_key, 0) - 1
+        if remaining <= 0:
+            self._in_flight_msgs.pop(msg_key, None)
+        else:
+            self._in_flight_msgs[msg_key] = remaining
+
+
+@dataclass
+class FunctionStats:
+    invocations: int = 0
+    faults: int = 0
+    ops_executed: int = 0
+    max_stack_bytes: int = 0
+    max_heap_bytes: int = 0
+
+
+class InstalledFunction:
+    """An action function installed in an enclave.
+
+    Holds both backends — the bytecode program plus interpreter, and the
+    natively compiled closure — selected by ``backend`` per invocation.
+    The authoritative message/global state lives here.
+    """
+
+    def __init__(self, name: str, source_fn: Union[Callable, str],
+                 packet_schema: Schema,
+                 message_schema: Optional[Schema],
+                 global_schema: Optional[Schema],
+                 backend: str,
+                 interpreter: Interpreter,
+                 rng: random.Random,
+                 clock: Callable[[], int],
+                 optimize_tail_calls: bool = True,
+                 commit_packet_writes: bool = True) -> None:
+        if backend not in ("interpreter", "native"):
+            raise EnclaveError(
+                f"unknown backend {backend!r}; use 'interpreter' or "
+                f"'native'")
+        if message_schema is not None and \
+                any(f.is_array for f in message_schema.fields):
+            raise EnclaveError(
+                "message schemas must contain only scalar fields")
+        self.name = name
+        self.backend = backend
+        # False implements the paper's "baseline EDEN" configuration
+        # (Section 5.1): classification and the data-plane function
+        # run, but the interpreter's packet outputs are ignored before
+        # transmission.
+        self.commit_packet_writes = commit_packet_writes
+        self.packet_schema = packet_schema
+        self.message_schema = message_schema
+        self.global_schema = global_schema
+        self.prog_ast, self.program = compile_action(
+            source_fn, packet_schema=packet_schema,
+            message_schema=message_schema, global_schema=global_schema,
+            name=name, optimize_tail_calls=optimize_tail_calls)
+        verify(self.program,
+               max_operand_stack=interpreter.max_operand_stack)
+        self.concurrency = concurrency_of(self.prog_ast)
+        self.guard = ConcurrencyGuard(self.concurrency)
+        self.interpreter = interpreter
+        self.native = NativeFunction(self.prog_ast, self.program,
+                                     rng=rng, clock=clock)
+        self.global_store = (GlobalStore(global_schema)
+                             if global_schema is not None else None)
+        self.message_store = (MessageStore(message_schema)
+                              if message_schema is not None else None)
+        self.stats = FunctionStats()
+
+    def execute(self, fields: Sequence[int],
+                arrays: Sequence[Sequence[int]]) -> ExecResult:
+        if self.backend == "native":
+            return self.native.execute(fields, arrays)
+        return self.interpreter.execute(self.program, fields, arrays)
+
+
+@dataclass(frozen=True)
+class MatchRule:
+    """One match-action entry: a class-name pattern and an action.
+
+    Patterns are exact class names or prefix wildcards such as
+    ``memcached.r1.*`` (``*`` alone matches everything).
+    ``next_table`` optionally chains processing to another table after
+    the action runs (Section 3.4.2: an action can send the packet "to a
+    specific match-action table").
+    """
+
+    rule_id: int
+    pattern: str
+    function: str
+    priority: int = 0
+    next_table: Optional[int] = None
+
+    def matches(self, class_name: str) -> bool:
+        if self.pattern == "*":
+            return True
+        if self.pattern.endswith(".*"):
+            return class_name.startswith(self.pattern[:-1])
+        return class_name == self.pattern
+
+
+class MatchActionTable:
+    """An ordered set of :class:`MatchRule`, highest priority first."""
+
+    def __init__(self, table_id: int) -> None:
+        self.table_id = table_id
+        self._rules: List[MatchRule] = []
+
+    def add(self, rule: MatchRule) -> None:
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: (-r.priority, r.rule_id))
+
+    def remove(self, rule_id: int) -> None:
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.rule_id != rule_id]
+        if len(self._rules) == before:
+            raise EnclaveError(
+                f"table {self.table_id}: no rule {rule_id}")
+
+    def lookup(self, class_names: Sequence[str]
+               ) -> Optional[Tuple[MatchRule, str]]:
+        """First rule (by priority) matching any of the packet's
+        classes; returns (rule, matched class name)."""
+        for rule in self._rules:
+            for cname in class_names:
+                if rule.matches(cname):
+                    return rule, cname
+        return None
+
+    def rules(self) -> List[MatchRule]:
+        return list(self._rules)
+
+
+@dataclass
+class ProcessResult:
+    """Outcome of enclave processing for one packet."""
+
+    executed: List[str]                 # action functions run, in order
+    matched_classes: List[str]
+    drop: bool = False
+    to_controller: bool = False
+    faults: int = 0
+    interpreter_ops: int = 0            # bytecode ops across actions
+
+
+#: Placements supported by the prototype (Section 4.3): a Windows
+#: network-filter-driver enclave and a Netronome programmable-NIC
+#: enclave.  The per-packet base cost models where the enclave sits.
+PLACEMENT_OS = "os"
+PLACEMENT_NIC = "nic"
+_PLACEMENT_BASE_COST_NS = {PLACEMENT_OS: 500, PLACEMENT_NIC: 120}
+
+
+class Enclave:
+    """The per-host Eden enclave.
+
+    The controller programs it through the *enclave API*: installing
+    action functions (:meth:`install_function`), match-action rules
+    (:meth:`install_rule`), and global state
+    (:meth:`set_global`/:meth:`set_global_array`/...).  The host network
+    stack drives the data path through :meth:`process_packet`.
+    """
+
+    MAX_TABLE_HOPS = 8
+
+    def __init__(self, name: str = "enclave",
+                 placement: str = PLACEMENT_OS,
+                 packet_schema: Schema = DEFAULT_PACKET_SCHEMA,
+                 rng: Optional[random.Random] = None,
+                 clock: Optional[Callable[[], int]] = None,
+                 accounting: Optional[CpuAccounting] = None,
+                 interpreter: Optional[Interpreter] = None) -> None:
+        if placement not in _PLACEMENT_BASE_COST_NS:
+            raise EnclaveError(f"unknown placement {placement!r}")
+        self.name = name
+        self.placement = placement
+        self.per_packet_base_cost_ns = _PLACEMENT_BASE_COST_NS[placement]
+        self.packet_schema = packet_schema
+        self.rng = rng if rng is not None else random.Random(1)
+        self.clock = clock if clock is not None else (lambda: 0)
+        self.accounting = accounting or CpuAccounting(enabled=False)
+        self.interpreter = interpreter or Interpreter(
+            rng=self.rng, clock=self.clock)
+        self._functions: Dict[str, InstalledFunction] = {}
+        self._tables: Dict[int, MatchActionTable] = {
+            0: MatchActionTable(0)}
+        self._next_rule_id = itertools.count(1)
+        self.packets_processed = 0
+        self.packets_dropped = 0
+        # The enclave is itself a stage that classifies at the
+        # granularity of flows (last row of paper Table 2).
+        self.flow_stage = Stage(
+            "enclave",
+            classifier_fields=("src_ip", "src_port", "dst_ip",
+                               "dst_port", "proto"),
+            metadata_fields=("msg_id",))
+
+    # -- enclave API: functions ---------------------------------------------
+
+    def install_function(self, source_fn: Union[Callable, str],
+                         name: Optional[str] = None,
+                         message_schema: Optional[Schema] = None,
+                         global_schema: Optional[Schema] = None,
+                         backend: str = "interpreter",
+                         optimize_tail_calls: bool = True,
+                         commit_packet_writes: bool = True
+                         ) -> InstalledFunction:
+        """Compile, verify, and install an action function."""
+        installed = InstalledFunction(
+            name=name or getattr(source_fn, "__name__", "action"),
+            source_fn=source_fn,
+            packet_schema=self.packet_schema,
+            message_schema=message_schema,
+            global_schema=global_schema,
+            backend=backend,
+            interpreter=self.interpreter,
+            rng=self.rng,
+            clock=self.clock,
+            optimize_tail_calls=optimize_tail_calls,
+            commit_packet_writes=commit_packet_writes)
+        if installed.name in self._functions:
+            raise EnclaveError(
+                f"function {installed.name!r} already installed")
+        self._functions[installed.name] = installed
+        return installed
+
+    def remove_function(self, name: str) -> None:
+        if name not in self._functions:
+            raise EnclaveError(f"no function {name!r}")
+        for table in self._tables.values():
+            for rule in table.rules():
+                if rule.function == name:
+                    raise EnclaveError(
+                        f"function {name!r} still referenced by rule "
+                        f"{rule.rule_id} in table {table.table_id}")
+        del self._functions[name]
+
+    def function(self, name: str) -> InstalledFunction:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise EnclaveError(f"no function {name!r}") from None
+
+    def functions(self) -> List[str]:
+        return sorted(self._functions)
+
+    # -- enclave API: tables and rules -----------------------------------
+
+    def create_table(self, table_id: int) -> MatchActionTable:
+        if table_id in self._tables:
+            raise EnclaveError(f"table {table_id} already exists")
+        table = MatchActionTable(table_id)
+        self._tables[table_id] = table
+        return table
+
+    def delete_table(self, table_id: int) -> None:
+        if table_id == 0:
+            raise EnclaveError("table 0 cannot be deleted")
+        if table_id not in self._tables:
+            raise EnclaveError(f"no table {table_id}")
+        del self._tables[table_id]
+
+    def table(self, table_id: int) -> MatchActionTable:
+        try:
+            return self._tables[table_id]
+        except KeyError:
+            raise EnclaveError(f"no table {table_id}") from None
+
+    def install_rule(self, pattern: str, function: str,
+                     table_id: int = 0, priority: int = 0,
+                     next_table: Optional[int] = None) -> int:
+        """Install ``<match on class name> -> f(pkt, ...)`` (Table 4)."""
+        if function not in self._functions:
+            raise EnclaveError(
+                f"cannot install rule for unknown function "
+                f"{function!r}")
+        if next_table is not None and next_table not in self._tables:
+            raise EnclaveError(f"next table {next_table} does not exist")
+        rule_id = next(self._next_rule_id)
+        self.table(table_id).add(MatchRule(
+            rule_id=rule_id, pattern=pattern, function=function,
+            priority=priority, next_table=next_table))
+        return rule_id
+
+    def remove_rule(self, rule_id: int, table_id: int = 0) -> None:
+        self.table(table_id).remove(rule_id)
+
+    # -- enclave API: global state ------------------------------------------
+
+    def _global_store(self, function: str) -> GlobalStore:
+        store = self.function(function).global_store
+        if store is None:
+            raise EnclaveError(
+                f"function {function!r} has no global schema")
+        return store
+
+    def set_global(self, function: str, name: str, value: int) -> None:
+        self._global_store(function).set_scalar(name, value)
+
+    def set_global_array(self, function: str, name: str,
+                         values: Sequence[int]) -> None:
+        self._global_store(function).set_array(name, values)
+
+    def set_global_records(self, function: str, name: str,
+                           records: Iterable[Sequence[int]]) -> None:
+        self._global_store(function).set_records(name, records)
+
+    def set_global_keyed(self, function: str, name: str, key: tuple,
+                         values: Sequence[int]) -> None:
+        self._global_store(function).set_keyed_array(name, key, values)
+
+    def query_global(self, function: str) -> Dict[str, object]:
+        return self._global_store(function).snapshot()
+
+    # -- data path -------------------------------------------------------
+
+    def process_packet(self, packet,
+                       classifications: Sequence[Classification] = (),
+                       now_ns: Optional[int] = None) -> ProcessResult:
+        """Run the packet through the match-action pipeline.
+
+        ``packet`` is any object exposing the packet-schema fields as
+        attributes.  ``classifications`` carries the class/metadata
+        annotations the packet's message received from stages; the
+        enclave always appends its own flow-granularity classification
+        so functions that need no application support still apply
+        (e.g. PIAS over unmodified applications).
+        """
+        now = now_ns if now_ns is not None else self.clock()
+        t0 = self.accounting.now()
+        flow_cls = self._flow_classification(packet)
+        all_cls = (list(classifications) +
+                   self._enclave_stage_classifications(packet) +
+                   [flow_cls])
+        class_names = [c.class_name for c in all_cls]
+        metadata: Dict[str, object] = {}
+        msg_id: Optional[object] = None
+        for cls in classifications:
+            metadata.update(cls.metadata)
+            if msg_id is None and cls.message_id is not None:
+                msg_id = cls.message_id
+        if msg_id is None:
+            msg_id = flow_cls.message_id
+
+        result = ProcessResult(executed=[], matched_classes=[])
+        table_id = 0
+        hops = 0
+        while table_id is not None and hops < self.MAX_TABLE_HOPS:
+            hops += 1
+            hit = self._tables[table_id].lookup(class_names)
+            if hit is None:
+                break
+            rule, matched = hit
+            result.matched_classes.append(matched)
+            fn = self._functions[rule.function]
+            self.accounting.record("enclave",
+                                   self.accounting.now() - t0)
+            self._invoke(fn, packet, msg_id, metadata, now, result)
+            t0 = self.accounting.now()
+            table_id = rule.next_table
+        self.accounting.record("enclave", self.accounting.now() - t0)
+
+        self.packets_processed += 1
+        result.drop = bool(getattr(packet, "drop", 0))
+        result.to_controller = bool(getattr(packet, "to_controller", 0))
+        if result.drop:
+            self.packets_dropped += 1
+        return result
+
+    def process_batch(self, packets_with_cls: Sequence[Tuple],
+                      now_ns: Optional[int] = None
+                      ) -> List[ProcessResult]:
+        """Process a batch of ``(packet, classifications)`` pairs.
+
+        Section 6: "action functions ... can be extended to allow for
+        computation over a batch of packets.  If the batch contains
+        packets from multiple messages, the enclave will have to
+        pre-process it and split it into messages."  Packets are
+        grouped by message id (preserving arrival order within each
+        message) and each group is run back-to-back — amortizing the
+        per-batch entry cost while keeping per-message state
+        consistent.  Results are returned in the original order.
+        """
+        now = now_ns if now_ns is not None else self.clock()
+        order: List[object] = []
+        groups: Dict[object, List[int]] = {}
+        entries = list(packets_with_cls)
+        for i, (packet, classifications) in enumerate(entries):
+            msg_id = None
+            for cls in classifications:
+                if cls.message_id is not None:
+                    msg_id = cls.message_id
+                    break
+            if msg_id is None:
+                msg_id = self._flow_classification(packet).message_id
+            if msg_id not in groups:
+                groups[msg_id] = []
+                order.append(msg_id)
+            groups[msg_id].append(i)
+        results: List[Optional[ProcessResult]] = [None] * len(entries)
+        for msg_id in order:
+            for i in groups[msg_id]:
+                packet, classifications = entries[i]
+                results[i] = self.process_packet(
+                    packet, classifications, now_ns=now)
+        return results  # type: ignore[return-value]
+
+    def replace_function(self, name: str, source_fn,
+                         backend: Optional[str] = None,
+                         optimize_tail_calls: bool = True) -> \
+            InstalledFunction:
+        """Hot-swap an action function's program, keeping its state.
+
+        This is the dynamic update the interpreter design buys
+        (Section 3.4.3: functions "can be updated dynamically by the
+        controller without affecting forwarding performance"): the new
+        source is compiled and verified off the data path, then
+        swapped in atomically; the authoritative message and global
+        stores — and the match-action rules referencing the function —
+        survive the swap.  The new program must use the same schemas.
+        """
+        old = self.function(name)
+        replacement = InstalledFunction(
+            name=name, source_fn=source_fn,
+            packet_schema=old.packet_schema,
+            message_schema=old.message_schema,
+            global_schema=old.global_schema,
+            backend=backend if backend is not None else old.backend,
+            interpreter=self.interpreter,
+            rng=self.rng, clock=self.clock,
+            optimize_tail_calls=optimize_tail_calls,
+            commit_packet_writes=old.commit_packet_writes)
+        # Carry the authoritative state over.
+        replacement.global_store = old.global_store
+        replacement.message_store = old.message_store
+        self._functions[name] = replacement
+        return replacement
+
+    def query_rules(self, table_id: int = 0) -> List[MatchRule]:
+        """Enclave API: the rules of one match-action table."""
+        return self.table(table_id).rules()
+
+    def query_tables(self) -> List[int]:
+        """Enclave API: the ids of all match-action tables."""
+        return sorted(self._tables)
+
+    def stats_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-function counters for controller monitoring."""
+        out: Dict[str, Dict[str, int]] = {}
+        for name, fn in self._functions.items():
+            out[name] = {
+                "invocations": fn.stats.invocations,
+                "faults": fn.stats.faults,
+                "ops_executed": fn.stats.ops_executed,
+                "max_stack_bytes": fn.stats.max_stack_bytes,
+                "max_heap_bytes": fn.stats.max_heap_bytes,
+                "messages_tracked": (len(fn.message_store)
+                                     if fn.message_store is not None
+                                     else 0),
+            }
+        return out
+
+    def end_message(self, function: str, msg_key: object) -> None:
+        """Notify the enclave that a message ended (e.g. flow FIN)."""
+        store = self.function(function).message_store
+        if store is not None:
+            store.end_message(msg_key)
+
+    def expire_idle_messages(self, now_ns: int) -> int:
+        total = 0
+        for fn in self._functions.values():
+            if fn.message_store is not None:
+                total += fn.message_store.expire_idle(now_ns)
+        return total
+
+    # -- internals ------------------------------------------------------
+
+    def _flow_classification(self, packet) -> Classification:
+        flow_key = (getattr(packet, "src_ip", 0),
+                    getattr(packet, "src_port", 0),
+                    getattr(packet, "dst_ip", 0),
+                    getattr(packet, "dst_port", 0),
+                    getattr(packet, "proto", 0))
+        return Classification(class_name="enclave.flows.default",
+                              metadata={"msg_id": ("enclave", flow_key)})
+
+    def _enclave_stage_classifications(
+            self, packet) -> List[Classification]:
+        """Run the enclave's own stage rules over the packet headers.
+
+        Paper Table 2, last row: the enclave classifies on
+        ``<src_ip, src_port, dst_ip, dst_port, proto>`` — "when
+        classification is done at the granularity of TCP flows, each
+        transport connection is a message", so the message id is the
+        five-tuple.  The controller installs rules with
+        :meth:`install_flow_rule`.
+        """
+        if not self.flow_stage._rule_sets:
+            return []
+        attrs = {
+            "src_ip": getattr(packet, "src_ip", 0),
+            "src_port": getattr(packet, "src_port", 0),
+            "dst_ip": getattr(packet, "dst_ip", 0),
+            "dst_port": getattr(packet, "dst_port", 0),
+            "proto": getattr(packet, "proto", 0),
+        }
+        flow_key = (attrs["src_ip"], attrs["src_port"],
+                    attrs["dst_ip"], attrs["dst_port"],
+                    attrs["proto"])
+        results = self.flow_stage.classify(attrs, msg_id=flow_key)
+        # Flow identity must be the five-tuple, not a per-call id.
+        return [Classification(class_name=c.class_name,
+                               metadata={**c.metadata,
+                                         "msg_id": ("enclave",
+                                                    flow_key)})
+                for c in results]
+
+    def install_flow_rule(self, rule_set: str, classifier,
+                          class_name: str) -> int:
+        """Controller API: a header classification rule at the
+        enclave's own stage (Table 2, last row)."""
+        return self.flow_stage.create_stage_rule(
+            rule_set, classifier, class_name, ["msg_id"])
+
+    def _invoke(self, fn: InstalledFunction, packet, msg_id: object,
+                metadata: Mapping[str, object], now_ns: int,
+                result: ProcessResult) -> None:
+        t0 = self.accounting.now()
+        fn.guard.acquire(msg_id)
+        try:
+            msg_entry = None
+            if fn.message_store is not None:
+                int_metadata = {
+                    k: v for k, v in metadata.items()
+                    if isinstance(v, int) and not isinstance(v, bool)}
+                msg_entry, _ = fn.message_store.lookup(
+                    msg_id, now_ns, int_metadata)
+
+            fields: List[int] = []
+            for ref in fn.program.field_table:
+                fields.append(self._read_field(fn, ref, packet,
+                                               msg_entry))
+            arrays: List[List[int]] = []
+            for aref in fn.program.array_table:
+                arrays.append(self._read_array(fn, aref, packet))
+            self.accounting.record("enclave",
+                                   self.accounting.now() - t0)
+
+            t1 = self.accounting.now()
+            try:
+                exec_result = fn.execute(fields, arrays)
+            except InterpreterFault:
+                # Section 3.4.3: a faulty function terminates its own
+                # execution without affecting the rest of the system —
+                # the packet is forwarded unmodified.
+                fn.stats.faults += 1
+                result.faults += 1
+                self.accounting.record(
+                    "interpreter" if fn.backend == "interpreter"
+                    else "native",
+                    self.accounting.now() - t1)
+                return
+            self.accounting.record(
+                "interpreter" if fn.backend == "interpreter"
+                else "native",
+                self.accounting.now() - t1)
+
+            t2 = self.accounting.now()
+            self._commit(fn, packet, msg_id, exec_result)
+            fn.stats.invocations += 1
+            stats = exec_result.stats
+            fn.stats.ops_executed += stats.ops_executed
+            fn.stats.max_stack_bytes = max(fn.stats.max_stack_bytes,
+                                           stats.stack_bytes)
+            fn.stats.max_heap_bytes = max(fn.stats.max_heap_bytes,
+                                          stats.heap_bytes)
+            result.interpreter_ops += stats.ops_executed
+            result.executed.append(fn.name)
+            self.accounting.record("enclave",
+                                   self.accounting.now() - t2)
+        finally:
+            fn.guard.release(msg_id)
+
+    def _read_field(self, fn: InstalledFunction, ref, packet,
+                    msg_entry) -> int:
+        if ref.scope == "packet":
+            schema_field = fn.packet_schema.field_named(ref.name)
+            if schema_field.binder is not None:
+                return int(schema_field.binder(packet, None))
+            return int(getattr(packet, ref.name, schema_field.default))
+        if ref.scope == "message":
+            assert msg_entry is not None
+            return msg_entry.values[ref.name]
+        schema_field = fn.global_schema.field_named(ref.name)
+        if schema_field.binder is not None:
+            return int(schema_field.binder(packet, fn.global_store))
+        return fn.global_store.scalar(ref.name)
+
+    def _read_array(self, fn: InstalledFunction, aref,
+                    packet) -> List[int]:
+        if aref.scope != "global":
+            raise EnclaveError(
+                f"array state is only supported at global scope, not "
+                f"{aref.scope!r}")
+        schema_field = fn.global_schema.field_named(aref.name)
+        if schema_field.binder is not None:
+            return list(schema_field.binder(packet, fn.global_store))
+        return fn.global_store.array(aref.name)
+
+    def _commit(self, fn: InstalledFunction, packet, msg_id: object,
+                exec_result: ExecResult) -> None:
+        msg_updates: Dict[str, int] = {}
+        for ref, value in zip(fn.program.field_table,
+                              exec_result.fields):
+            if not ref.writable:
+                continue
+            if ref.scope == "packet":
+                if fn.commit_packet_writes:
+                    setattr(packet, ref.name, value)
+            elif ref.scope == "message":
+                msg_updates[ref.name] = value
+            else:
+                fn.global_store.commit_scalar(ref.name, value)
+        if msg_updates and fn.message_store is not None:
+            fn.message_store.commit(msg_id, msg_updates)
+        for aref, values in zip(fn.program.array_table,
+                                exec_result.arrays):
+            if aref.writable and aref.scope == "global":
+                fn.global_store.commit_array(aref.name, values)

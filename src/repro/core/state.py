@@ -1,0 +1,245 @@
+"""Enclave state management and the concurrency model.
+
+Section 3.4.4: "The authoritative state is maintained in the enclave,
+and the annotations determine the concurrency model for the action
+functions."  This module holds that authoritative state —
+
+* :class:`GlobalStore` — per-action-function global scalars and arrays,
+  written by the controller (e.g. PIAS priority thresholds, WCMP path
+  matrices, Pulsar queue maps);
+* :class:`MessageStore` — per-message state created lazily on the first
+  packet of a message and garbage-collected when the message ends;
+
+— and derives the admissible concurrency level of a program from which
+state scopes it writes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..lang import ast_nodes as T
+from ..lang.annotations import AccessLevel, FieldKind, Schema
+from ..lang.bytecode import wrap64
+
+
+class ConcurrencyLevel(enum.Enum):
+    """How many invocations of a program the enclave may run at once.
+
+    Derived from the declared write sets (Section 3.4.4):
+
+    * ``PARALLEL`` — the program writes only packet state: any number of
+      packets may be processed concurrently.
+    * ``PER_MESSAGE`` — the program writes message state: at most one
+      packet *per message* concurrently.
+    * ``SERIAL`` — the program writes global state: one invocation at a
+      time.
+    """
+
+    PARALLEL = "parallel"
+    PER_MESSAGE = "per-message"
+    SERIAL = "serial"
+
+
+def concurrency_of(prog: T.ProgramAST) -> ConcurrencyLevel:
+    """Derive the concurrency level from a program's write statements."""
+    writes_message = False
+    writes_global = False
+    for fn in prog.functions:
+        for stmt in T.walk_stmts(fn.body):
+            scope: Optional[str] = None
+            if isinstance(stmt, (T.AssignState, T.AssignArray)):
+                scope = stmt.scope
+            if scope == "message":
+                writes_message = True
+            elif scope == "global":
+                writes_global = True
+    if writes_global:
+        return ConcurrencyLevel.SERIAL
+    if writes_message:
+        return ConcurrencyLevel.PER_MESSAGE
+    return ConcurrencyLevel.PARALLEL
+
+
+class StateError(Exception):
+    """A state operation violated the schema or store invariants."""
+
+
+ArrayValue = List[int]
+ScalarOrArray = Union[int, ArrayValue]
+
+
+class GlobalStore:
+    """Authoritative global state of one action function.
+
+    Scalars are plain ints.  Array fields hold either a flat list (for
+    :attr:`FieldKind.ARRAY`) or a flattened record list (stride x
+    elements, for :attr:`FieldKind.RECORD_ARRAY`).  Array fields may
+    also be *keyed*: a dict of key -> array, resolved per packet by the
+    field's ``binder`` — this is how WCMP's ``pathMatrix[src, dst]`` is
+    expressed.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._scalars: Dict[str, int] = {}
+        self._arrays: Dict[str, ArrayValue] = {}
+        self._keyed: Dict[str, Dict[tuple, ArrayValue]] = {}
+        for f in schema.fields:
+            if f.is_array:
+                self._arrays[f.name] = []
+            else:
+                self._scalars[f.name] = f.default
+
+    # -- controller-facing writes ----------------------------------------
+
+    def set_scalar(self, name: str, value: int) -> None:
+        f = self.schema.field_named(name)
+        if f.is_array:
+            raise StateError(f"{name} is an array; use set_array")
+        self._scalars[name] = wrap64(value)
+
+    def set_array(self, name: str,
+                  values: Sequence[int]) -> None:
+        f = self.schema.field_named(name)
+        if not f.is_array:
+            raise StateError(f"{name} is a scalar; use set_scalar")
+        flat = [wrap64(v) for v in values]
+        if len(flat) % f.stride:
+            raise StateError(
+                f"{name}: {len(flat)} values is not a multiple of "
+                f"stride {f.stride}")
+        self._arrays[name] = flat
+
+    def set_records(self, name: str,
+                    records: Iterable[Sequence[int]]) -> None:
+        """Set a record array from per-element tuples."""
+        f = self.schema.field_named(name)
+        if f.kind is not FieldKind.RECORD_ARRAY:
+            raise StateError(f"{name} is not a record array")
+        flat: List[int] = []
+        for rec in records:
+            if len(rec) != f.stride:
+                raise StateError(
+                    f"{name}: record {rec!r} has {len(rec)} members, "
+                    f"expected {f.stride}")
+            flat.extend(wrap64(v) for v in rec)
+        self._arrays[name] = flat
+
+    def set_keyed_array(self, name: str, key: tuple,
+                        values: Sequence[int]) -> None:
+        """Set one key's slice of a keyed array (see class docstring)."""
+        f = self.schema.field_named(name)
+        if not f.is_array:
+            raise StateError(f"{name} is a scalar")
+        flat = [wrap64(v) for v in values]
+        if len(flat) % f.stride:
+            raise StateError(
+                f"{name}: {len(flat)} values is not a multiple of "
+                f"stride {f.stride}")
+        self._keyed.setdefault(name, {})[key] = flat
+
+    # -- runtime reads/writes ----------------------------------------------
+
+    def scalar(self, name: str) -> int:
+        return self._scalars[name]
+
+    def array(self, name: str) -> ArrayValue:
+        return self._arrays[name]
+
+    def keyed_array(self, name: str, key: tuple) -> ArrayValue:
+        keyed = self._keyed.get(name)
+        if keyed is None or key not in keyed:
+            return []
+        return keyed[key]
+
+    def commit_scalar(self, name: str, value: int) -> None:
+        self._scalars[name] = wrap64(value)
+
+    def commit_array(self, name: str, values: List[int]) -> None:
+        self._arrays[name] = list(values)
+
+    def snapshot(self) -> Dict[str, ScalarOrArray]:
+        """A read-only copy of all state (for the controller's queries)."""
+        out: Dict[str, ScalarOrArray] = dict(self._scalars)
+        for name, arr in self._arrays.items():
+            out[name] = list(arr)
+        return out
+
+
+@dataclass
+class MessageEntry:
+    """State of one message for one action function."""
+
+    values: Dict[str, int]
+    created_at: int = 0
+    last_used_at: int = 0
+    packets: int = 0
+
+
+class MessageStore:
+    """Per-message state of one action function.
+
+    Entries are created lazily when the first packet of a message
+    arrives (seeded from schema defaults, overlaid with any metadata the
+    stage attached whose names match message fields) and expired either
+    explicitly (message end) or by idle timeout.
+    """
+
+    def __init__(self, schema: Schema,
+                 idle_timeout_ns: int = 10_000_000_000) -> None:
+        self.schema = schema
+        self.idle_timeout_ns = idle_timeout_ns
+        self._entries: Dict[object, MessageEntry] = {}
+        self.created_total = 0
+        self.expired_total = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: object, now_ns: int,
+               metadata: Optional[Dict[str, int]] = None
+               ) -> Tuple[MessageEntry, bool]:
+        """Return (entry, is_new) for the message ``key``."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.last_used_at = now_ns
+            entry.packets += 1
+            return entry, False
+        values = {f.name: f.default for f in self.schema.fields
+                  if not f.is_array}
+        if metadata:
+            for name, value in metadata.items():
+                if self.schema.has_field(name) and \
+                        not self.schema.field_named(name).is_array:
+                    values[name] = wrap64(int(value))
+        entry = MessageEntry(values=values, created_at=now_ns,
+                             last_used_at=now_ns, packets=1)
+        self._entries[key] = entry
+        self.created_total += 1
+        return entry, True
+
+    def commit(self, key: object, values: Dict[str, int]) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise StateError(f"no message entry for {key!r}")
+        entry.values.update(values)
+
+    def end_message(self, key: object) -> None:
+        """Explicit message termination (e.g. flow FIN)."""
+        if self._entries.pop(key, None) is not None:
+            self.expired_total += 1
+
+    def expire_idle(self, now_ns: int) -> int:
+        """Drop entries idle longer than the timeout; returns count."""
+        stale = [k for k, e in self._entries.items()
+                 if now_ns - e.last_used_at > self.idle_timeout_ns]
+        for k in stale:
+            del self._entries[k]
+        self.expired_total += len(stale)
+        return len(stale)

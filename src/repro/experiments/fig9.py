@@ -1,0 +1,185 @@
+"""Figure 9: flow completion times under flow scheduling policies.
+
+Paper setup (Section 5.1): a request-response workload whose response
+sizes follow a search-application flow-size distribution; one worker
+serves requests at roughly 70% load while other sources send
+background traffic.  Priority thresholds split flows into small
+(<10 KB), intermediate (10 KB-1 MB) and background classes.  Reported:
+average and 95th-percentile FCT of small and intermediate flows for
+{baseline, PIAS, SFF} x {native, EDEN}.
+
+Configurations here:
+
+* ``("baseline", "native")``  — vanilla stack, no enclave;
+* ``("baseline", "eden")``    — enclave + classification + interpreted
+  PIAS run on every packet, but packet outputs ignored (the paper's
+  baseline-EDEN overhead configuration);
+* ``("pias"|"sff", "native")`` — the policy hard-coded (natively
+  compiled) in the enclave;
+* ``("pias"|"sff", "eden")``   — the policy interpreted from bytecode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..apps.workloads import (BulkSender, FlowSizeDistribution,
+                              INTERMEDIATE_FLOW_MAX,
+                              RequestResponseClient,
+                              RequestResponseServer, SMALL_FLOW_MAX,
+                              SinkServer, generic_app_stage,
+                              make_registry)
+from ..core.controller import Controller
+from ..core.enclave import Enclave
+from ..functions.pias import FlowSchedulingDeployment
+from ..netsim.simulator import GBPS, MS, Simulator
+from ..netsim.topology import star
+from ..netsim.tracing import FlowTracker
+from ..stack.netstack import HostStack
+
+SERVICE_PORT = 9000
+SINK_PORT = 9100
+PRIORITY_THRESHOLDS = ((SMALL_FLOW_MAX, 7),
+                       (INTERMEDIATE_FLOW_MAX, 6),
+                       (1 << 50, 5))
+
+
+@dataclass
+class Fig9Result:
+    policy: str
+    variant: str
+    small_avg_us: float
+    small_p95_us: float
+    mid_avg_us: float
+    mid_p95_us: float
+    n_small: int
+    n_mid: int
+    requests: int
+    background_mbps: float
+
+    def row(self) -> str:
+        return (f"{self.policy:<9} {self.variant:<7} "
+                f"small: {self.small_avg_us:8.1f} / "
+                f"{self.small_p95_us:8.1f} us (n={self.n_small:4d})  "
+                f"intermediate: {self.mid_avg_us:9.1f} / "
+                f"{self.mid_p95_us:9.1f} us (n={self.n_mid:3d})")
+
+
+def run_flow_scheduling(policy: str = "baseline",
+                        variant: str = "native",
+                        seed: int = 1,
+                        duration_ms: int = 150,
+                        load: float = 0.7,
+                        link_bps: int = 10 * GBPS,
+                        n_background: int = 2,
+                        warmup_ms: int = 10) -> Fig9Result:
+    """One Figure 9 configuration; returns FCT summaries."""
+    if policy not in ("baseline", "pias", "sff"):
+        raise ValueError(f"unknown policy {policy!r}")
+    if variant not in ("native", "eden"):
+        raise ValueError(f"unknown variant {variant!r}")
+
+    sim = Simulator(seed=seed)
+    # h1 = requesting client (and bulk sink), h2 = worker,
+    # h3.. = background bulk senders.
+    net = star(sim, 2 + n_background, host_rate_bps=link_bps)
+    controller = Controller()
+
+    needs_enclave = not (policy == "baseline" and variant == "native")
+    stacks: Dict[str, HostStack] = {}
+    sender_hosts = ["h2"] + [f"h{i + 3}" for i in range(n_background)]
+    for name, host in net.hosts.items():
+        enclave = None
+        if needs_enclave and name in sender_hosts:
+            enclave = Enclave(f"{name}.enclave", clock=sim.clock,
+                              rng=sim.rng)
+            controller.register_enclave(name, enclave)
+        stacks[name] = HostStack(sim, host, enclave=enclave,
+                                 process_pure_acks=False)
+
+    if needs_enclave:
+        backend = "interpreter" if variant == "eden" else "native"
+        # baseline-eden runs interpreted PIAS with outputs ignored.
+        effective_policy = policy if policy != "baseline" else "pias"
+        deployment = FlowSchedulingDeployment(
+            controller, policy=effective_policy, backend=backend)
+        deployment.install(sender_hosts, PRIORITY_THRESHOLDS)
+        if policy == "baseline":
+            for host in sender_hosts:
+                fn = controller.enclave(host).function(
+                    deployment.function_name)
+                fn.commit_packet_writes = False
+
+    stage = generic_app_stage()
+    # The controller programs the stage (paper Figure 6): classify
+    # every message, exposing its id, declared size and desired
+    # priority to the enclave.
+    from ..core.stage import Classifier
+    stage.create_stage_rule("r1", Classifier.of(), "msg",
+                            ["msg_id", "msg_size", "priority"])
+    registry = make_registry()
+    tracker = FlowTracker()
+    distribution = FlowSizeDistribution()
+
+    def response_attrs(params: Dict[str, int]) -> Dict[str, object]:
+        # PIAS: let demotion decide (priority metadata 7 = "manage
+        # me"); SFF additionally declares the flow size.
+        return {"priority": 7, "msg_size": params["size"]}
+
+    RequestResponseServer(sim, stacks["h2"], SERVICE_PORT, registry,
+                          stage=stage, attrs_fn=response_attrs)
+    arrivals = load * link_bps / (8.0 * distribution.mean())
+    client = RequestResponseClient(
+        sim, stacks["h1"], net.host_ip("h2"), SERVICE_PORT, registry,
+        tracker, distribution=distribution,
+        arrivals_per_sec=arrivals)
+
+    SinkServer(stacks["h1"], SINK_PORT)
+    bulk_senders: List[BulkSender] = []
+    for i in range(n_background):
+        bulk_senders.append(BulkSender(
+            sim, stacks[f"h{i + 3}"], net.host_ip("h1"), SINK_PORT,
+            stage=stage, low_priority=0))
+
+    client.start()
+    sim.run(until_ns=duration_ms * MS)
+    client.stop()
+
+    cutoff = warmup_ms * MS
+    small = [r.fct_us for r in tracker.records
+             if r.size_bytes < SMALL_FLOW_MAX and
+             r.started_at >= cutoff]
+    mid = [r.fct_us for r in tracker.records
+           if SMALL_FLOW_MAX <= r.size_bytes < INTERMEDIATE_FLOW_MAX
+           and r.started_at >= cutoff]
+    from ..netsim.tracing import mean, percentile
+    background_bytes = sum(b.bytes_completed for b in bulk_senders)
+    background_mbps = background_bytes * 8.0 / (duration_ms * 1e3)
+    return Fig9Result(
+        policy=policy, variant=variant,
+        small_avg_us=mean(small), small_p95_us=percentile(small, 95),
+        mid_avg_us=mean(mid), mid_p95_us=percentile(mid, 95),
+        n_small=len(small), n_mid=len(mid),
+        requests=client.responses_done,
+        background_mbps=background_mbps)
+
+
+def run_all(seed: int = 1, duration_ms: int = 150,
+            policies: Tuple[str, ...] = ("baseline", "pias", "sff"),
+            variants: Tuple[str, ...] = ("native", "eden")
+            ) -> List[Fig9Result]:
+    results = []
+    for policy in policies:
+        for variant in variants:
+            results.append(run_flow_scheduling(
+                policy=policy, variant=variant, seed=seed,
+                duration_ms=duration_ms))
+    return results
+
+
+def format_results(results: List[Fig9Result]) -> str:
+    lines = ["Figure 9 — flow completion times "
+             "(avg / 95th percentile, microseconds)"]
+    lines += [r.row() for r in results]
+    return "\n".join(lines)

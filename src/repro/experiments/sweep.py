@@ -1,0 +1,62 @@
+"""Multi-seed sweeps with confidence intervals.
+
+The paper's Figures 9–11 report means with 95% confidence intervals
+over ten runs.  :func:`sweep` repeats an experiment across seeds and
+aggregates any numeric attributes of its result objects into
+:class:`~repro.netsim.tracing.SeriesStats`, so benchmark output can
+carry the same ± error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields, is_dataclass
+from typing import Callable, Dict, Iterable, Sequence
+
+from ..netsim.tracing import SeriesStats
+
+
+def numeric_fields(result) -> Dict[str, float]:
+    """Extract the numeric attributes of a result object."""
+    out: Dict[str, float] = {}
+    if is_dataclass(result):
+        names = [f.name for f in dataclass_fields(result)]
+    else:
+        names = [n for n in vars(result) if not n.startswith("_")]
+    for name in names:
+        value = getattr(result, name)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[name] = float(value)
+    return out
+
+
+def sweep(run: Callable[..., object], seeds: Sequence[int],
+          **kwargs) -> Dict[str, SeriesStats]:
+    """Run ``run(seed=s, **kwargs)`` for every seed and aggregate.
+
+    Returns one :class:`SeriesStats` per numeric result field; each
+    has ``.mean`` and ``.ci95`` (normal-approximation half-width,
+    matching the paper's error-bar convention).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    stats: Dict[str, SeriesStats] = {}
+    for seed in seeds:
+        result = run(seed=seed, **kwargs)
+        for name, value in numeric_fields(result).items():
+            stats.setdefault(name, SeriesStats(name)).add(value)
+    return stats
+
+
+def format_sweep(title: str, stats: Dict[str, SeriesStats],
+                 fields: Iterable[str]) -> str:
+    """Render selected fields as ``mean ± ci95`` rows."""
+    lines = [title]
+    for name in fields:
+        if name in stats:
+            entry = stats[name]
+            lines.append(f"  {name:<22} {entry.mean:10.1f} "
+                         f"± {entry.ci95:.1f} "
+                         f"(n={len(entry.values)})")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""The paper's network functions, written in the Eden DSL."""
+
+from .firewall import (FIREWALL_FUNCTION_NAME, FIREWALL_GLOBAL_SCHEMA,
+                       FirewallDeployment, PORT_KNOCK_FUNCTION_NAME,
+                       PORT_KNOCK_GLOBAL_SCHEMA, PortKnockDeployment,
+                       port_knock_action, stateful_firewall_action)
+from .library import (DemoPacket, DemoSpec, Table1Entry, format_table,
+                      run_demos, table1)
+from .pias import (FlowSchedulingDeployment, PIAS_FUNCTION_NAME,
+                   PIAS_GLOBAL_SCHEMA, PIAS_MESSAGE_SCHEMA,
+                   SFF_FUNCTION_NAME, SFF_GLOBAL_SCHEMA,
+                   SFF_MESSAGE_SCHEMA, pias_action, sff_action)
+from .pulsar import (PULSAR_GLOBAL_SCHEMA, PULSAR_MESSAGE_SCHEMA,
+                     PulsarDeployment, pulsar_action)
+from .qos import (CENTRALIZED_CC_MESSAGE_SCHEMA, NETWORK_QOS_GLOBAL_SCHEMA,
+                  QJUMP_GLOBAL_SCHEMA, QJUMP_MESSAGE_SCHEMA,
+                  QjumpDeployment, centralized_cc_action,
+                  network_qos_action, qjump_action)
+from .replica import (AnantaDeployment, MCROUTER_GLOBAL_SCHEMA,
+                      MCROUTER_MESSAGE_SCHEMA, NAT_GLOBAL_SCHEMA,
+                      SINBAD_GLOBAL_SCHEMA, ananta_nat_action,
+                      mcrouter_select_action, sinbad_select_action)
+from .wcmp import (WCMP_GLOBAL_SCHEMA, WCMP_MESSAGE_SCHEMA,
+                   WcmpDeployment, message_wcmp_action, wcmp_action)
+
+__all__ = [
+    "AnantaDeployment", "DemoPacket", "DemoSpec",
+    "FirewallDeployment", "FlowSchedulingDeployment",
+    "PortKnockDeployment", "PulsarDeployment", "QjumpDeployment",
+    "Table1Entry", "WcmpDeployment", "ananta_nat_action",
+    "centralized_cc_action", "format_table", "mcrouter_select_action",
+    "message_wcmp_action", "network_qos_action", "pias_action",
+    "port_knock_action", "pulsar_action", "qjump_action", "run_demos",
+    "sff_action", "sinbad_select_action", "stateful_firewall_action",
+    "table1", "wcmp_action",
+]

@@ -1,0 +1,356 @@
+"""The network-function registry: paper Table 1 as executable data.
+
+Each :class:`Table1Entry` records a function's data-plane requirements
+(state, computation, application semantics), whether it needs network
+support beyond commodity priorities/labels, and whether Eden supports
+it out of the box.  Entries Eden supports carry a :class:`DemoSpec`
+that compiles the actual DSL program, seeds its state, runs a canned
+packet through an enclave, and checks the observable effect — so the
+Table 1 claim "Eden can support many of these functions out of the
+box" is machine-checked, not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..core.enclave import Enclave
+from ..core.stage import Classification
+from ..lang.annotations import Schema
+from . import firewall, pias, pulsar, qos, replica, wcmp
+
+
+@dataclass
+class DemoPacket:
+    """A synthetic packet for DemoSpec runs: exposes the packet-schema
+    fields as plain attributes, like the simulator's Packet."""
+
+    src_ip: int = 1
+    dst_ip: int = 2
+    src_port: int = 1111
+    dst_port: int = 80
+    proto: int = 6
+    size: int = 1514
+    priority: int = 0
+    path_id: int = 0
+    drop: int = 0
+    to_controller: int = 0
+    queue_id: int = 0
+    charge: int = 0
+    ecn: int = 0
+    tenant: int = 0
+
+
+@dataclass(frozen=True)
+class DemoSpec:
+    """How to install, feed, and check one function."""
+
+    action: Callable
+    function_name: str
+    message_schema: Optional[Schema] = None
+    global_schema: Optional[Schema] = None
+    #: name -> scalar value
+    global_scalars: Mapping[str, int] = field(default_factory=dict)
+    #: name -> flat array
+    global_arrays: Mapping[str, Sequence[int]] = field(
+        default_factory=dict)
+    #: name -> {key: flat array}
+    global_keyed: Mapping[str, Mapping[tuple, Sequence[int]]] = field(
+        default_factory=dict)
+    #: packet attribute overrides and message metadata per demo packet
+    packets: Sequence[Mapping[str, int]] = field(default_factory=list)
+    metadata: Mapping[str, int] = field(default_factory=dict)
+    #: predicate over the last processed packet
+    check: Optional[Callable[[DemoPacket], bool]] = None
+
+    def run(self, backend: str = "interpreter") -> DemoPacket:
+        """Install into a fresh enclave, process the demo packets, and
+        return the last one (after running ``check``)."""
+        enclave = Enclave(f"demo.{self.function_name}")
+        enclave.install_function(
+            self.action, name=self.function_name,
+            message_schema=self.message_schema,
+            global_schema=self.global_schema, backend=backend)
+        for name, value in self.global_scalars.items():
+            enclave.set_global(self.function_name, name, value)
+        for name, values in self.global_arrays.items():
+            enclave.set_global_array(self.function_name, name,
+                                     list(values))
+        for name, keyed in self.global_keyed.items():
+            for key, values in keyed.items():
+                enclave.set_global_keyed(self.function_name, name, key,
+                                         list(values))
+        enclave.install_rule("*", self.function_name)
+        packet = None
+        for i, overrides in enumerate(self.packets or [{}]):
+            packet = DemoPacket()
+            for attr, value in overrides.items():
+                setattr(packet, attr, value)
+            cls = []
+            if self.metadata:
+                metadata = dict(self.metadata)
+                metadata.setdefault("msg_id", ("demo", 1))
+                cls = [Classification(class_name="demo.r1.msg",
+                                      metadata=metadata)]
+            enclave.process_packet(packet, cls, now_ns=i)
+        if self.check is not None and not self.check(packet):
+            raise AssertionError(
+                f"{self.function_name}: demo check failed on "
+                f"{packet!r}")
+        return packet
+
+
+@dataclass(frozen=True)
+class Table1Entry:
+    """One row of paper Table 1."""
+
+    category: str
+    name: str
+    data_plane_state: bool
+    data_plane_computation: bool
+    app_semantics: bool
+    app_semantics_approx: bool = False   # the paper's 3* footnote
+    network_support: bool = False
+    eden_out_of_box: bool = False
+    demo: Optional[DemoSpec] = None
+    notes: str = ""
+
+
+def _wcmp_demo() -> DemoSpec:
+    return DemoSpec(
+        action=wcmp.wcmp_action, function_name="wcmp",
+        global_schema=wcmp.WCMP_GLOBAL_SCHEMA,
+        global_keyed={"paths": {(1, 2): [1, 900, 2, 100]}},
+        packets=[{}],
+        check=lambda p: p.path_id in (1, 2))
+
+
+def _message_wcmp_demo() -> DemoSpec:
+    return DemoSpec(
+        action=wcmp.message_wcmp_action, function_name="message_wcmp",
+        message_schema=wcmp.WCMP_MESSAGE_SCHEMA,
+        global_schema=wcmp.WCMP_GLOBAL_SCHEMA,
+        global_keyed={"paths": {(1, 2): [1, 500, 2, 500]}},
+        packets=[{}, {}, {}],
+        metadata={"dummy": 0},
+        check=lambda p: p.path_id in (1, 2))
+
+
+def _ananta_demo() -> DemoSpec:
+    return DemoSpec(
+        action=replica.ananta_nat_action, function_name="ananta_nat",
+        global_schema=replica.NAT_GLOBAL_SCHEMA,
+        global_scalars={"vip": 99},
+        global_arrays={"replicas": [201, 202, 203],
+                       "nat_state": [0] * 64},
+        packets=[{"dst_ip": 99}],
+        check=lambda p: p.dst_ip in (201, 202, 203))
+
+
+def _mcrouter_demo() -> DemoSpec:
+    return DemoSpec(
+        action=replica.mcrouter_select_action,
+        function_name="mcrouter_select",
+        message_schema=replica.MCROUTER_MESSAGE_SCHEMA,
+        global_schema=replica.MCROUTER_GLOBAL_SCHEMA,
+        global_arrays={"replicas": [301, 302]},
+        metadata={"key_hash": 7},
+        packets=[{}],
+        check=lambda p: p.dst_ip == 302)
+
+
+def _sinbad_demo() -> DemoSpec:
+    return DemoSpec(
+        action=replica.sinbad_select_action,
+        function_name="sinbad_select",
+        message_schema=replica.MCROUTER_MESSAGE_SCHEMA,
+        global_schema=replica.SINBAD_GLOBAL_SCHEMA,
+        global_arrays={"replicas": [401, 402, 403],
+                       "replica_load": [70, 10, 50]},
+        metadata={"key_hash": 0},
+        packets=[{}],
+        check=lambda p: p.dst_ip == 402)
+
+
+def _pulsar_demo() -> DemoSpec:
+    return DemoSpec(
+        action=pulsar.pulsar_action, function_name="pulsar",
+        message_schema=pulsar.PULSAR_MESSAGE_SCHEMA,
+        global_schema=pulsar.PULSAR_GLOBAL_SCHEMA,
+        global_arrays={"queue_map": [0, 5]},
+        metadata={"op_read": 1, "msg_size": 65536},
+        packets=[{"tenant": 1}],
+        check=lambda p: p.queue_id == 5 and p.charge == 65536)
+
+
+def _network_qos_demo() -> DemoSpec:
+    return DemoSpec(
+        action=qos.network_qos_action, function_name="network_qos",
+        global_schema=qos.NETWORK_QOS_GLOBAL_SCHEMA,
+        global_arrays={"queue_map": [3]},
+        packets=[{"tenant": 0}],
+        check=lambda p: p.queue_id == 3 and p.charge == p.size)
+
+
+def _pias_demo() -> DemoSpec:
+    return DemoSpec(
+        action=pias.pias_action, function_name="pias",
+        message_schema=pias.PIAS_MESSAGE_SCHEMA,
+        global_schema=pias.PIAS_GLOBAL_SCHEMA,
+        global_arrays={"priorities": [10_000, 7, 1_000_000, 6,
+                                      1 << 40, 5]},
+        metadata={"priority": 7},
+        packets=[{"size": 1514}] * 8,
+        check=lambda p: p.priority == 6)  # 8*1514 > 10 KB
+
+
+def _sff_demo() -> DemoSpec:
+    return DemoSpec(
+        action=pias.sff_action, function_name="sff",
+        message_schema=pias.SFF_MESSAGE_SCHEMA,
+        global_schema=pias.SFF_GLOBAL_SCHEMA,
+        global_arrays={"priorities": [10_000, 7, 1_000_000, 6,
+                                      1 << 40, 5]},
+        metadata={"msg_size": 500_000},
+        packets=[{"size": 1514}],
+        check=lambda p: p.priority == 6)
+
+
+def _qjump_demo() -> DemoSpec:
+    return DemoSpec(
+        action=qos.qjump_action, function_name="qjump",
+        message_schema=qos.QJUMP_MESSAGE_SCHEMA,
+        global_schema=qos.QJUMP_GLOBAL_SCHEMA,
+        global_arrays={"level_priority": [0, 4, 7],
+                       "level_queue": [0, 9, 0]},
+        metadata={"level": 2},
+        packets=[{}],
+        check=lambda p: p.priority == 7 and p.queue_id == 0)
+
+
+def _centralized_cc_demo() -> DemoSpec:
+    return DemoSpec(
+        action=qos.centralized_cc_action,
+        function_name="centralized_cc",
+        message_schema=qos.CENTRALIZED_CC_MESSAGE_SCHEMA,
+        metadata={"paced_queue": 11},
+        packets=[{}],
+        check=lambda p: p.queue_id == 11)
+
+
+def _port_knock_demo() -> DemoSpec:
+    return DemoSpec(
+        action=firewall.port_knock_action, function_name="port_knock",
+        global_schema=firewall.PORT_KNOCK_GLOBAL_SCHEMA,
+        global_scalars={"knock1": 7001, "knock2": 7002,
+                        "knock3": 7003, "open_port": 22},
+        global_arrays={"knock_state": [0] * 64},
+        packets=[{"dst_port": 7001}, {"dst_port": 7002},
+                 {"dst_port": 7003}, {"dst_port": 22}],
+        check=lambda p: p.drop == 0)
+
+
+def _firewall_demo() -> DemoSpec:
+    return DemoSpec(
+        action=firewall.stateful_firewall_action,
+        function_name="stateful_firewall",
+        global_schema=firewall.FIREWALL_GLOBAL_SCHEMA,
+        global_scalars={"my_ip": 1, "allow_port": -1},
+        global_arrays={"flow_seen": [0] * 64},
+        # inbound with no prior outbound flow -> dropped
+        packets=[{"src_ip": 5, "dst_ip": 1, "dst_port": 22}],
+        check=lambda p: p.drop == 1)
+
+
+def table1() -> List[Table1Entry]:
+    """The rows of paper Table 1, in paper order."""
+    return [
+        Table1Entry("Load Balancing", "WCMP", True, True, False,
+                    app_semantics_approx=False, network_support=False,
+                    eden_out_of_box=True, demo=_wcmp_demo()),
+        Table1Entry("Load Balancing", "Message-based WCMP", True, True,
+                    True, eden_out_of_box=True,
+                    demo=_message_wcmp_demo()),
+        Table1Entry("Load Balancing", "Ananta", True, True, False,
+                    eden_out_of_box=True, demo=_ananta_demo()),
+        Table1Entry("Load Balancing", "CONGA", True, True, False,
+                    app_semantics_approx=True, network_support=True,
+                    eden_out_of_box=False,
+                    notes="needs switch-local congestion visibility"),
+        Table1Entry("Load Balancing", "Duet", True, True, False,
+                    network_support=True, eden_out_of_box=False,
+                    notes="needs switch-based VIP offload"),
+        Table1Entry("Replica Selection", "mcrouter", True, True, True,
+                    eden_out_of_box=True, demo=_mcrouter_demo()),
+        Table1Entry("Replica Selection", "SINBAD", True, True, True,
+                    eden_out_of_box=True, demo=_sinbad_demo()),
+        Table1Entry("Datacenter QoS", "Pulsar", True, True, True,
+                    eden_out_of_box=True, demo=_pulsar_demo()),
+        Table1Entry("Datacenter QoS", "Storage QoS", True, True, True,
+                    eden_out_of_box=True, demo=_network_qos_demo(),
+                    notes="IOFlow-style; network_qos as representative"),
+        Table1Entry("Datacenter QoS", "Network QoS", True, True, True,
+                    eden_out_of_box=True, demo=_network_qos_demo()),
+        Table1Entry("Flow scheduling and congestion control", "PIAS",
+                    True, True, False, eden_out_of_box=True,
+                    demo=_pias_demo()),
+        Table1Entry("Flow scheduling and congestion control", "SFF",
+                    True, True, True, eden_out_of_box=True,
+                    demo=_sff_demo(),
+                    notes="shortest flow first (Section 5.1)"),
+        Table1Entry("Flow scheduling and congestion control", "QJump",
+                    True, True, False, eden_out_of_box=True,
+                    demo=_qjump_demo()),
+        Table1Entry("Flow scheduling and congestion control",
+                    "Centralized congestion control", True, True,
+                    False, app_semantics_approx=True,
+                    eden_out_of_box=True,
+                    demo=_centralized_cc_demo()),
+        Table1Entry("Flow scheduling and congestion control",
+                    "Explicit rate control (D3, PASE, PDQ)", True,
+                    True, True, network_support=True,
+                    eden_out_of_box=False,
+                    notes="needs explicit per-hop feedback"),
+        Table1Entry("Stateful firewall", "IDS (e.g. Snort)", True,
+                    True, False, eden_out_of_box=False,
+                    notes="needs payload inspection"),
+        Table1Entry("Stateful firewall", "Port knocking", True, True,
+                    False, eden_out_of_box=True,
+                    demo=_port_knock_demo()),
+        Table1Entry("Stateful firewall", "Connection tracking", True,
+                    True, False, eden_out_of_box=True,
+                    demo=_firewall_demo(),
+                    notes="extra row: outbound-initiated flows only"),
+    ]
+
+
+def run_demos(backend: str = "interpreter") -> Dict[str, bool]:
+    """Run every supported entry's demo; returns name -> passed."""
+    results: Dict[str, bool] = {}
+    for entry in table1():
+        if entry.demo is None:
+            continue
+        try:
+            entry.demo.run(backend=backend)
+            results[entry.name] = True
+        except Exception:
+            results[entry.name] = False
+    return results
+
+
+def format_table(entries: Optional[List[Table1Entry]] = None) -> str:
+    """Render the coverage matrix like the paper's Table 1."""
+    entries = entries if entries is not None else table1()
+    mark = lambda b: "yes" if b else "no"
+    lines = [f"{'Function':<42} {'state':>5} {'comp':>5} "
+             f"{'app':>5} {'net':>5} {'eden':>5}"]
+    for e in entries:
+        app = "~yes" if e.app_semantics_approx else mark(
+            e.app_semantics)
+        lines.append(
+            f"{e.name[:42]:<42} {mark(e.data_plane_state):>5} "
+            f"{mark(e.data_plane_computation):>5} {app:>5} "
+            f"{mark(e.network_support):>5} "
+            f"{mark(e.eden_out_of_box):>5}")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Datacenter flow scheduling: PIAS and SFF (Sections 2.1.3, 5.1).
+
+* :func:`pias_action` is the paper's Figure 7 program verbatim
+  (modulo Python syntax): track each message's cumulative size and
+  demote its packets through the priority thresholds; messages that
+  request a low-priority class directly (``msg.priority < 1``) are
+  respected.
+* :func:`sff_action` is shortest-flow-first: the application declares
+  the flow size up front (via stage metadata), so the priority is
+  assigned once at message start rather than learned by demotion.
+
+:class:`FlowSchedulingDeployment` wires either function into enclaves
+and pushes the controller-computed thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.controller import Controller
+from ..lang.annotations import (AccessLevel, Field, FieldKind, Lifetime,
+                                schema)
+
+PIAS_FUNCTION_NAME = "pias"
+SFF_FUNCTION_NAME = "sff"
+
+#: msgTable entry: cumulative size plus the app-requested priority
+#: (Figure 7's ``msg.Size`` and ``msg.Priority``; background flows can
+#: specify a low priority class).
+PIAS_MESSAGE_SCHEMA = schema(
+    "PiasMessage", Lifetime.MESSAGE, [
+        Field("size", AccessLevel.READ_WRITE, default=0),
+        Field("priority", AccessLevel.READ_ONLY, default=7),
+    ])
+
+#: ``priorityThresholds`` (Figure 4): (message size limit, priority)
+#: rows, highest priority first.
+PIAS_GLOBAL_SCHEMA = schema(
+    "PiasGlobal", Lifetime.GLOBAL, [
+        Field("priorities", AccessLevel.READ_ONLY,
+              FieldKind.RECORD_ARRAY,
+              record_fields=("message_size_limit", "priority")),
+    ])
+
+#: SFF message state: the declared flow size (from app metadata, named
+#: ``msg_size`` so stage metadata seeds it) and the priority assigned
+#: at message start (-1 = unassigned).
+SFF_MESSAGE_SCHEMA = schema(
+    "SffMessage", Lifetime.MESSAGE, [
+        Field("msg_size", AccessLevel.READ_ONLY, default=0),
+        Field("assigned", AccessLevel.READ_WRITE, default=-1),
+    ])
+
+SFF_GLOBAL_SCHEMA = PIAS_GLOBAL_SCHEMA
+
+
+def pias_action(packet, msg, _global):
+    """Paper Figure 7: priority selection by cumulative message size."""
+    msg_size = msg.size + packet.size
+    msg.size = msg_size
+
+    def search(index):
+        if index >= len(_global.priorities):
+            return 0
+        elif msg_size <= _global.priorities[index].message_size_limit:
+            return _global.priorities[index].priority
+        else:
+            return search(index + 1)
+
+    desired = msg.priority
+    if desired < 1:
+        packet.priority = desired
+    else:
+        packet.priority = search(0)
+
+
+def sff_action(packet, msg, _global):
+    """Shortest flow first: assign priority once from the declared
+    flow size (Section 5.1: SFF "requires applications to provide the
+    flow size to the Eden enclave")."""
+    def search(index, size):
+        if index >= len(_global.priorities):
+            return 0
+        elif size <= _global.priorities[index].message_size_limit:
+            return _global.priorities[index].priority
+        else:
+            return search(index + 1, size)
+
+    if msg.assigned < 0:
+        msg.assigned = search(0, msg.msg_size)
+    packet.priority = msg.assigned
+
+
+class FlowSchedulingDeployment:
+    """Installs PIAS or SFF plus thresholds at a set of hosts."""
+
+    def __init__(self, controller: Controller, policy: str = "pias",
+                 backend: str = "interpreter",
+                 class_pattern: str = "*") -> None:
+        if policy not in ("pias", "sff"):
+            raise ValueError("policy must be 'pias' or 'sff'")
+        self.controller = controller
+        self.policy = policy
+        self.backend = backend
+        self.class_pattern = class_pattern
+
+    @property
+    def function_name(self) -> str:
+        return (PIAS_FUNCTION_NAME if self.policy == "pias"
+                else SFF_FUNCTION_NAME)
+
+    def install(self, hosts,
+                thresholds: Sequence[Tuple[int, int]]) -> None:
+        """Install the policy and push ``(size_limit, priority)``
+        thresholds (from :meth:`Controller.pias_thresholds`)."""
+        if self.policy == "pias":
+            self.controller.install_function(
+                hosts, pias_action, name=PIAS_FUNCTION_NAME,
+                message_schema=PIAS_MESSAGE_SCHEMA,
+                global_schema=PIAS_GLOBAL_SCHEMA, backend=self.backend)
+        else:
+            self.controller.install_function(
+                hosts, sff_action, name=SFF_FUNCTION_NAME,
+                message_schema=SFF_MESSAGE_SCHEMA,
+                global_schema=SFF_GLOBAL_SCHEMA, backend=self.backend)
+        self.controller.set_global_records(
+            hosts, self.function_name, "priorities", thresholds)
+        self.controller.install_rule(hosts, self.class_pattern,
+                                     self.function_name)
+
+    def update_thresholds(self, hosts,
+                          thresholds: Sequence[Tuple[int, int]]
+                          ) -> None:
+        """Periodic controller update (Section 2.1.3: thresholds are
+        recalculated based on the overall traffic load)."""
+        self.controller.set_global_records(
+            hosts, self.function_name, "priorities", thresholds)

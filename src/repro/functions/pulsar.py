@@ -1,0 +1,99 @@
+"""Pulsar's rate control (paper Section 2.1.2, Figure 3).
+
+The data-plane function charges a packet by the size of the IO
+operation it belongs to when that operation is a READ (a small request
+packet stands for a large server-side and reverse-path cost), and by
+the packet's own size otherwise, then steers it to the rate-limited
+queue of the packet's tenant — giving aggregate tenant-level
+guarantees rather than per-VM ones.
+
+The tenant ``queueMap`` is a flat global array indexed by tenant id;
+the queues themselves are token buckets in the host stack
+(:mod:`repro.stack.ratelimiter`) configured by the deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..core.controller import Controller
+from ..lang.annotations import (AccessLevel, Field, FieldKind, Lifetime,
+                                schema)
+
+FUNCTION_NAME = "pulsar"
+
+#: Message state: whether the IO is a READ and the operation size,
+#: both seeded from stage metadata (``op_read`` / ``msg_size``).
+PULSAR_MESSAGE_SCHEMA = schema(
+    "PulsarMessage", Lifetime.MESSAGE, [
+        Field("op_read", AccessLevel.READ_ONLY, default=0),
+        Field("msg_size", AccessLevel.READ_ONLY, default=0),
+    ])
+
+#: ``queueMap``: tenant id -> rate-limited queue id (0 = unlimited).
+PULSAR_GLOBAL_SCHEMA = schema(
+    "PulsarGlobal", Lifetime.GLOBAL, [
+        Field("queue_map", AccessLevel.READ_ONLY, FieldKind.ARRAY),
+    ])
+
+
+def pulsar_action(packet, msg, _global):
+    """fun Pulsar(packet) — paper Figure 3."""
+    if msg.op_read == 1:
+        # READ: policing is based on the operation size.
+        packet.charge = msg.msg_size
+    else:
+        # Otherwise policing is based on the packet size.
+        packet.charge = packet.size
+    tenant = packet.tenant
+    if tenant >= 0 and tenant < len(_global.queue_map):
+        packet.queue_id = _global.queue_map[tenant]
+
+
+class PulsarDeployment:
+    """Installs Pulsar rate control at a set of sender hosts.
+
+    For each host: install the action function and rule, push the
+    tenant->queue map, and configure the corresponding token-bucket
+    queues in the host's stack.
+    """
+
+    def __init__(self, controller: Controller,
+                 backend: str = "interpreter",
+                 class_pattern: str = "*") -> None:
+        self.controller = controller
+        self.backend = backend
+        self.class_pattern = class_pattern
+
+    def install(self, host: str, stack,
+                tenant_rates_bps: Mapping[int, int],
+                burst_bytes: int = 150_000) -> Dict[int, int]:
+        """Deploy at one host; returns the tenant -> queue id map."""
+        self.controller.install_function(
+            host, pulsar_action, name=FUNCTION_NAME,
+            message_schema=PULSAR_MESSAGE_SCHEMA,
+            global_schema=PULSAR_GLOBAL_SCHEMA, backend=self.backend)
+        self.controller.install_rule(host, self.class_pattern,
+                                     FUNCTION_NAME)
+        queue_map = self.configure_rates(host, stack, tenant_rates_bps,
+                                         burst_bytes)
+        return queue_map
+
+    def configure_rates(self, host: str, stack,
+                        tenant_rates_bps: Mapping[int, int],
+                        burst_bytes: int = 150_000) -> Dict[int, int]:
+        """(Re)configure per-tenant rates; also used for controller
+        updates after install."""
+        max_tenant = max(tenant_rates_bps) if tenant_rates_bps else 0
+        table = [0] * (max_tenant + 1)
+        queue_map: Dict[int, int] = {}
+        for i, tenant in enumerate(sorted(tenant_rates_bps)):
+            queue_id = i + 1
+            table[tenant] = queue_id
+            queue_map[tenant] = queue_id
+            stack.rate_limiters.configure(
+                queue_id, tenant_rates_bps[tenant],
+                burst_bytes=burst_bytes)
+        enclave = self.controller.enclave(host)
+        enclave.set_global_array(FUNCTION_NAME, "queue_map", table)
+        return queue_map

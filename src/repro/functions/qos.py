@@ -1,0 +1,116 @@
+"""Other QoS functions from paper Table 1.
+
+* :func:`qjump_action` — QJump [28]: applications declare a latency
+  level per message; the function maps the level to an 802.1q priority
+  and, for the throughput-hungry levels, to a rate-limited queue.
+* :func:`network_qos_action` — tenant-level bandwidth shares
+  (Netshare/ElasticSwitch-style): like Pulsar's steering but charging
+  pure network bytes, no IO-operation semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.controller import Controller
+from ..lang.annotations import (AccessLevel, Field, FieldKind, Lifetime,
+                                schema)
+
+QJUMP_FUNCTION_NAME = "qjump"
+NETWORK_QOS_FUNCTION_NAME = "network_qos"
+
+QJUMP_MESSAGE_SCHEMA = schema(
+    "QjumpMessage", Lifetime.MESSAGE, [
+        Field("level", AccessLevel.READ_ONLY, default=0),
+    ])
+
+QJUMP_GLOBAL_SCHEMA = schema(
+    "QjumpGlobal", Lifetime.GLOBAL, [
+        # level -> 802.1q priority
+        Field("level_priority", AccessLevel.READ_ONLY, FieldKind.ARRAY),
+        # level -> rate-limited queue id (0 = unthrottled)
+        Field("level_queue", AccessLevel.READ_ONLY, FieldKind.ARRAY),
+    ])
+
+NETWORK_QOS_GLOBAL_SCHEMA = schema(
+    "NetworkQosGlobal", Lifetime.GLOBAL, [
+        Field("queue_map", AccessLevel.READ_ONLY, FieldKind.ARRAY),
+    ])
+
+
+def qjump_action(packet, msg, _global):
+    """Map the message's declared QJump level to priority + throttle."""
+    level = msg.level
+    if level < 0:
+        level = 0
+    if level >= len(_global.level_priority):
+        level = len(_global.level_priority) - 1
+    if level < 0:
+        return 0
+    packet.priority = _global.level_priority[level]
+    packet.queue_id = _global.level_queue[level]
+    return 0
+
+
+CENTRALIZED_CC_FUNCTION_NAME = "centralized_cc"
+
+CENTRALIZED_CC_MESSAGE_SCHEMA = schema(
+    "CentralizedCcMessage", Lifetime.MESSAGE, [
+        # Controller-allocated pacing queue for this flow (Fastpass
+        # style: the centralized arbiter decides when/at what rate
+        # each sender transmits; here, which token bucket paces it).
+        Field("paced_queue", AccessLevel.READ_ONLY, default=0),
+    ])
+
+
+def centralized_cc_action(packet, msg):
+    """Centralized congestion control (Fastpass [48] representative):
+    every flow is paced at the rate its controller allocation dictates
+    by steering it to the allocated queue."""
+    packet.queue_id = msg.paced_queue
+    return 0
+
+
+def network_qos_action(packet, _global):
+    """Steer each tenant's traffic to its rate-limited queue."""
+    tenant = packet.tenant
+    if tenant >= 0 and tenant < len(_global.queue_map):
+        packet.queue_id = _global.queue_map[tenant]
+    packet.charge = packet.size
+    return 0
+
+
+class QjumpDeployment:
+    """Installs QJump levels at a set of hosts."""
+
+    def __init__(self, controller: Controller,
+                 backend: str = "interpreter") -> None:
+        self.controller = controller
+        self.backend = backend
+
+    def install(self, host: str, stack,
+                levels: Sequence[Mapping[str, int]]) -> None:
+        """``levels[i]`` maps level i to ``{"priority": p,
+        "rate_bps": r}`` (omit ``rate_bps`` for unthrottled)."""
+        self.controller.install_function(
+            host, qjump_action, name=QJUMP_FUNCTION_NAME,
+            message_schema=QJUMP_MESSAGE_SCHEMA,
+            global_schema=QJUMP_GLOBAL_SCHEMA, backend=self.backend)
+        priorities = []
+        queues = []
+        next_queue = 100
+        for level in levels:
+            priorities.append(int(level["priority"]))
+            rate = level.get("rate_bps")
+            if rate:
+                stack.rate_limiters.configure(next_queue, int(rate))
+                queues.append(next_queue)
+                next_queue += 1
+            else:
+                queues.append(0)
+        enclave = self.controller.enclave(host)
+        enclave.set_global_array(QJUMP_FUNCTION_NAME, "level_priority",
+                                 priorities)
+        enclave.set_global_array(QJUMP_FUNCTION_NAME, "level_queue",
+                                 queues)
+        self.controller.install_rule(host, "*", QJUMP_FUNCTION_NAME)

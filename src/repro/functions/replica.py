@@ -1,0 +1,142 @@
+"""Replica selection and load balancing with header rewriting.
+
+Two functions from paper Table 1's load-balancing / replica-selection
+rows, both exploiting the DSL's ability to modify header fields
+(Section 3.4.2):
+
+* :func:`ananta_nat_action` — Ananta-style client-side NAT: TCP
+  connections opened to a virtual IP are pinned (per flow, via a
+  writable global bucket table) to one of a pool of real replicas;
+  return traffic is rewritten back to the VIP so the client transport
+  never notices.
+* :func:`mcrouter_select_action` — mcrouter-style key-based replica
+  selection: the stage exposes each request's key hash as message
+  metadata and the function deterministically maps it to a replica
+  (Section 2.1.1: mcrouter "routes memcached requests based on their
+  key").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.controller import Controller
+from ..lang.annotations import (AccessLevel, Field, FieldKind, Lifetime,
+                                schema)
+
+NAT_FUNCTION_NAME = "ananta_nat"
+MCROUTER_FUNCTION_NAME = "mcrouter_select"
+
+NAT_GLOBAL_SCHEMA = schema(
+    "AnantaGlobal", Lifetime.GLOBAL, [
+        Field("vip", AccessLevel.READ_ONLY),
+        Field("replicas", AccessLevel.READ_ONLY, FieldKind.ARRAY),
+        # Per-flow chosen replica (1-based; 0 = unchosen), in
+        # symmetric hash buckets so both directions agree.
+        Field("nat_state", AccessLevel.READ_WRITE, FieldKind.ARRAY),
+    ])
+
+MCROUTER_MESSAGE_SCHEMA = schema(
+    "McrouterMessage", Lifetime.MESSAGE, [
+        Field("key_hash", AccessLevel.READ_ONLY, default=0),
+    ])
+
+MCROUTER_GLOBAL_SCHEMA = schema(
+    "McrouterGlobal", Lifetime.GLOBAL, [
+        Field("replicas", AccessLevel.READ_ONLY, FieldKind.ARRAY),
+    ])
+
+SINBAD_FUNCTION_NAME = "sinbad_select"
+
+SINBAD_GLOBAL_SCHEMA = schema(
+    "SinbadGlobal", Lifetime.GLOBAL, [
+        Field("replicas", AccessLevel.READ_ONLY, FieldKind.ARRAY),
+        # Controller-maintained load estimate per replica (e.g. bytes
+        # outstanding), refreshed periodically.
+        Field("replica_load", AccessLevel.READ_ONLY, FieldKind.ARRAY),
+    ])
+
+
+def ananta_nat_action(packet, _global):
+    """Client-side VIP -> replica NAT, stable per flow."""
+    n = len(_global.nat_state)
+    m = len(_global.replicas)
+    if n == 0 or m == 0:
+        return 0
+    if packet.dst_ip == _global.vip:
+        # Outbound: the flow's bucket mixes (client, vip, ports).
+        mix = (packet.src_ip ^ _global.vip) * 2654435761 + \
+              (packet.src_port ^ packet.dst_port) * 40503
+        idx = mix % n
+        choice = _global.nat_state[idx]
+        if choice == 0:
+            choice = 1 + rand(m)
+            _global.nat_state[idx] = choice
+        packet.dst_ip = _global.replicas[choice - 1]
+    else:
+        # Inbound from a replica: the packet carries (replica,
+        # client); the bucket is recovered from (client, vip, ports)
+        # so it matches the outbound direction.
+        mix = (packet.dst_ip ^ _global.vip) * 2654435761 + \
+              (packet.src_port ^ packet.dst_port) * 40503
+        idx = mix % n
+        choice = _global.nat_state[idx]
+        if choice != 0 and \
+                packet.src_ip == _global.replicas[choice - 1]:
+            packet.src_ip = _global.vip
+    return 0
+
+
+def mcrouter_select_action(packet, msg, _global):
+    """Key-based replica selection: requests for the same key always
+    go to the same replica."""
+    m = len(_global.replicas)
+    if m == 0:
+        return 0
+    packet.dst_ip = _global.replicas[msg.key_hash % m]
+    return 0
+
+
+def sinbad_select_action(packet, msg, _global):
+    """SINBAD-style endpoint flexibility: steer a write to the
+    currently least-loaded replica (Section 2.1.1: SINBAD "maximizes
+    performance by choosing endpoints for write operations")."""
+    m = len(_global.replicas)
+    if m == 0:
+        return 0
+    best = 0
+    for i in range(m):
+        if _global.replica_load[i] < _global.replica_load[best]:
+            best = i
+    packet.dst_ip = _global.replicas[best]
+    return 0
+
+
+class AnantaDeployment:
+    """Deploys VIP load balancing at client hosts.
+
+    Requires receive-path enclave processing
+    (``HostStack(process_rx=True)``) so replica responses are rewritten
+    back to the VIP before TCP demultiplexing.
+    """
+
+    def __init__(self, controller: Controller, buckets: int = 1024,
+                 backend: str = "interpreter") -> None:
+        self.controller = controller
+        self.buckets = buckets
+        self.backend = backend
+
+    def install(self, host: str, vip: int,
+                replicas: Sequence[int]) -> None:
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.controller.install_function(
+            host, ananta_nat_action, name=NAT_FUNCTION_NAME,
+            global_schema=NAT_GLOBAL_SCHEMA, backend=self.backend)
+        enclave = self.controller.enclave(host)
+        enclave.set_global(NAT_FUNCTION_NAME, "vip", vip)
+        enclave.set_global_array(NAT_FUNCTION_NAME, "replicas",
+                                 list(replicas))
+        enclave.set_global_array(NAT_FUNCTION_NAME, "nat_state",
+                                 [0] * self.buckets)
+        self.controller.install_rule(host, "*", NAT_FUNCTION_NAME)

@@ -1,0 +1,176 @@
+"""Weighted-cost multipath load balancing (paper Section 2.1.1, Fig 2).
+
+Three data-plane functions:
+
+* :func:`wcmp_action` — per-packet weighted random path choice, the
+  first snippet of Figure 2 (ECMP is the degenerate case of equal
+  weights);
+* :func:`message_wcmp_action` — the second snippet: all packets of one
+  message stick to the path chosen for the message's first packet,
+  trading some load balance for no reordering;
+* the control-plane side — path enumeration, weight computation and
+  label installation — lives in :class:`WcmpDeployment`.
+
+The per-(src, dst) ``pathMatrix`` of the paper is expressed as a keyed
+global record array: the enclave binds the row matching the packet's
+source and destination at invocation time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..core.controller import Controller
+from ..core.enclave import Enclave
+from ..lang.annotations import (AccessLevel, Field, FieldKind, Lifetime,
+                                schema)
+from ..netsim.routing import provision_labeled_paths
+from ..netsim.topology import Network
+
+FUNCTION_NAME = "wcmp"
+MESSAGE_FUNCTION_NAME = "message_wcmp"
+
+
+def _bind_paths(packet, store):
+    """Bind the pathMatrix row for this packet's (src, dst) pair."""
+    return store.keyed_array("paths", (packet.src_ip, packet.dst_ip))
+
+
+#: ``pathMatrix:[src, dst] -> {[Path1, Weight1], ...}`` (Figure 2).
+WCMP_GLOBAL_SCHEMA = schema(
+    "WcmpGlobal", Lifetime.GLOBAL, [
+        Field("paths", AccessLevel.READ_ONLY, FieldKind.RECORD_ARRAY,
+              record_fields=("path_id", "weight"), binder=_bind_paths),
+    ])
+
+#: Message state for message-level WCMP: the cached path label
+#: (0 = not chosen yet), the paper's ``cachedPaths[msg]``.
+WCMP_MESSAGE_SCHEMA = schema(
+    "WcmpMessage", Lifetime.MESSAGE, [
+        Field("cached_path", AccessLevel.READ_WRITE, default=0),
+    ])
+
+
+def wcmp_action(packet, _global):
+    """fun WCMP(packet): choose a path in a weighted random fashion
+    from pathMatrix[p.src, p.dst] (paper Figure 2, first snippet)."""
+    n = len(_global.paths)
+    if n == 0:
+        return 0
+    total = 0
+    for i in range(n):
+        total += _global.paths[i].weight
+    if total <= 0:
+        return 0
+    pick = rand(total)
+    acc = 0
+    for i in range(n):
+        acc += _global.paths[i].weight
+        if pick < acc:
+            packet.path_id = _global.paths[i].path_id
+            return 0
+    return 0
+
+
+def message_wcmp_action(packet, msg, _global):
+    """fun messageWCMP(packet): pick once per message, then reuse
+    cachedPaths[msg] (paper Figure 2, second snippet)."""
+    if msg.cached_path == 0:
+        n = len(_global.paths)
+        if n == 0:
+            return 0
+        total = 0
+        for i in range(n):
+            total += _global.paths[i].weight
+        if total <= 0:
+            return 0
+        pick = rand(total)
+        acc = 0
+        chosen = 0
+        for i in range(n):
+            acc += _global.paths[i].weight
+            if chosen == 0 and pick < acc:
+                chosen = _global.paths[i].path_id
+        msg.cached_path = chosen
+    packet.path_id = msg.cached_path
+    return 0
+
+
+class WcmpDeployment:
+    """Deploys (message-)WCMP between host pairs of a network.
+
+    The controller side: enumerate the simple paths between the pair,
+    install label forwarding state at the switches, compute weights
+    proportional to bottleneck capacity (or uniform for ECMP), and push
+    the pathMatrix rows plus the match-action rule to the sender's
+    enclave.
+    """
+
+    def __init__(self, controller: Controller, network: Network,
+                 granularity: str = "packet",
+                 backend: str = "interpreter",
+                 class_pattern: str = "*") -> None:
+        if granularity not in ("packet", "message"):
+            raise ValueError(
+                "granularity must be 'packet' or 'message'")
+        self.controller = controller
+        self.network = network
+        self.granularity = granularity
+        self.backend = backend
+        self.class_pattern = class_pattern
+        self._installed_hosts: set = set()
+
+    @property
+    def function_name(self) -> str:
+        return (FUNCTION_NAME if self.granularity == "packet"
+                else MESSAGE_FUNCTION_NAME)
+
+    def _ensure_function(self, host: str) -> None:
+        if host in self._installed_hosts:
+            return
+        if self.granularity == "packet":
+            self.controller.install_function(
+                host, wcmp_action, name=FUNCTION_NAME,
+                global_schema=WCMP_GLOBAL_SCHEMA, backend=self.backend)
+        else:
+            self.controller.install_function(
+                host, message_wcmp_action, name=MESSAGE_FUNCTION_NAME,
+                message_schema=WCMP_MESSAGE_SCHEMA,
+                global_schema=WCMP_GLOBAL_SCHEMA, backend=self.backend)
+        self.controller.install_rule(host, self.class_pattern,
+                                     self.function_name)
+        self._installed_hosts.add(host)
+
+    def provision_pair(self, src_host: str, dst_host: str,
+                       equal_weights: bool = False,
+                       first_label: int = 1,
+                       weight_scale: int = 1000
+                       ) -> List[Tuple[int, List[str], int]]:
+        """Set up paths + weights from ``src_host`` to ``dst_host``.
+
+        With ``equal_weights`` the result is per-packet (or
+        per-message) ECMP.  Returns the provisioned
+        ``(label, path, bottleneck_bps)`` rows.
+        """
+        self._ensure_function(src_host)
+        rows = provision_labeled_paths(self.network, src_host,
+                                       dst_host,
+                                       first_label=first_label)
+        if not rows:
+            raise ValueError(
+                f"no paths between {src_host} and {dst_host}")
+        if equal_weights:
+            caps = [(label, 1.0) for label, _, _ in rows]
+        else:
+            caps = [(label, float(bn)) for label, _, bn in rows]
+        weights = Controller.wcmp_weights(caps, scale=weight_scale)
+        records = [(w.path_id, w.weight) for w in weights]
+        flat: List[int] = []
+        for path_id, weight in records:
+            flat.extend((path_id, weight))
+        src_ip = self.network.host_ip(src_host)
+        dst_ip = self.network.host_ip(dst_host)
+        self.controller.set_global_keyed(
+            src_host, self.function_name, "paths",
+            (src_ip, dst_ip), flat)
+        return rows

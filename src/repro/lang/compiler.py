@@ -1,0 +1,280 @@
+"""Compiler from the typed action-function AST to enclave bytecode.
+
+Mirrors Section 3.4.4 of the paper: the interesting work — resolving
+state dependencies, access control and heap layout — already happened in
+the frontend; "the rest of the compilation process, mainly the
+translation of the abstract syntax tree to bytecode, is more
+straightforward".  As in the paper, the compiler "performs a number of
+optimizations such as recognizing tail recursion and compiling it as a
+loop".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+from . import ast_nodes as T
+from .annotations import Schema
+from .bytecode import Assembler, FunctionCode, Op, Program
+from .dsl import lower
+
+
+class CompileError(Exception):
+    """The typed AST could not be translated to bytecode."""
+
+
+@dataclass
+class _LoopLabels:
+    continue_label: str
+    break_label: str
+
+
+class _FunctionCompiler:
+    """Compiles one :class:`~.ast_nodes.FunctionDef` to bytecode."""
+
+    def __init__(self, prog: T.ProgramAST, fn: T.FunctionDef,
+                 fn_index: int, optimize_tail_calls: bool) -> None:
+        self.prog = prog
+        self.fn = fn
+        self.fn_index = fn_index
+        self.optimize_tail_calls = optimize_tail_calls
+        self.asm = Assembler(fn.name, n_args=len(fn.params))
+        self._loops: List[_LoopLabels] = []
+
+    def compile(self) -> FunctionCode:
+        self._compile_block(self.fn.body)
+        # Falling off the end returns 0.
+        self.asm.emit(Op.CONST, 0)
+        self.asm.emit(Op.RET)
+        return self.asm.finish(n_locals=self.fn.n_locals)
+
+    # -- statements -----------------------------------------------------
+
+    def _compile_block(self, stmts: Tuple[T.Stmt, ...]) -> None:
+        for stmt in stmts:
+            self._compile_stmt(stmt)
+
+    def _compile_stmt(self, stmt: T.Stmt) -> None:
+        if isinstance(stmt, T.AssignLocal):
+            self._compile_expr(stmt.value)
+            self.asm.emit(Op.STORE, stmt.slot)
+        elif isinstance(stmt, T.AssignState):
+            self._compile_expr(stmt.value)
+            self.asm.emit(Op.PUTF, stmt.index)
+        elif isinstance(stmt, T.AssignArray):
+            self._compile_expr(stmt.value)
+            self._compile_element_address(stmt)
+            self.asm.emit(Op.HSTORE)
+        elif isinstance(stmt, T.If):
+            self._compile_if(stmt)
+        elif isinstance(stmt, T.While):
+            self._compile_while(stmt)
+        elif isinstance(stmt, T.Break):
+            if not self._loops:
+                raise CompileError("break outside loop")
+            self.asm.emit_jump(Op.JMP, self._loops[-1].break_label)
+        elif isinstance(stmt, T.Continue):
+            if not self._loops:
+                raise CompileError("continue outside loop")
+            self.asm.emit_jump(Op.JMP, self._loops[-1].continue_label)
+        elif isinstance(stmt, T.Return):
+            self._compile_return(stmt)
+        elif isinstance(stmt, T.ExprStmt):
+            self._compile_expr(stmt.value)
+            self.asm.emit(Op.POP)
+        elif isinstance(stmt, T.Pass):
+            pass
+        else:
+            raise CompileError(f"unknown statement {stmt!r}")
+
+    def _compile_if(self, stmt: T.If) -> None:
+        else_label = self.asm.new_label()
+        end_label = self.asm.new_label()
+        self._compile_expr(stmt.cond)
+        self.asm.emit_jump(Op.JZ, else_label)
+        self._compile_block(stmt.then)
+        if stmt.orelse:
+            self.asm.emit_jump(Op.JMP, end_label)
+            self.asm.bind(else_label)
+            self._compile_block(stmt.orelse)
+            self.asm.bind(end_label)
+        else:
+            self.asm.bind(else_label)
+
+    def _compile_while(self, stmt: T.While) -> None:
+        top = self.asm.new_label()
+        end = self.asm.new_label()
+        self.asm.bind(top)
+        self._compile_expr(stmt.cond)
+        self.asm.emit_jump(Op.JZ, end)
+        self._loops.append(_LoopLabels(continue_label=top,
+                                       break_label=end))
+        self._compile_block(stmt.body)
+        self._loops.pop()
+        self.asm.emit_jump(Op.JMP, top)
+        self.asm.bind(end)
+
+    def _compile_return(self, stmt: T.Return) -> None:
+        value = stmt.value
+        if (self.optimize_tail_calls and isinstance(value, T.Call)
+                and value.func_index == self.fn_index):
+            # Tail recursion -> loop: evaluate all arguments, store them
+            # into the parameter slots, and jump back to the top.
+            for arg in value.args:
+                self._compile_expr(arg)
+            for slot in reversed(range(len(value.args))):
+                self.asm.emit(Op.STORE, slot)
+            self.asm.emit_jump(Op.JMP, "__entry")
+            return
+        if value is None:
+            self.asm.emit(Op.CONST, 0)
+        else:
+            self._compile_expr(value)
+        self.asm.emit(Op.RET)
+
+    # -- expressions ------------------------------------------------------
+
+    _BINOP_OPS = {
+        "+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "//": Op.DIV,
+        "%": Op.MOD, "&": Op.BAND, "|": Op.BOR, "^": Op.BXOR,
+        "<<": Op.SHL, ">>": Op.SHR,
+    }
+    _CMP_OPS = {
+        "==": Op.CEQ, "!=": Op.CNE, "<": Op.CLT, "<=": Op.CLE,
+        ">": Op.CGT, ">=": Op.CGE,
+    }
+
+    def _compile_expr(self, expr: T.Expr) -> None:
+        if isinstance(expr, T.Const):
+            self.asm.emit(Op.CONST, expr.value)
+        elif isinstance(expr, T.LocalRef):
+            self.asm.emit(Op.LOAD, expr.slot)
+        elif isinstance(expr, T.StateRef):
+            self.asm.emit(Op.GETF, expr.index)
+        elif isinstance(expr, T.ArrayLen):
+            self.asm.emit(Op.ALEN, expr.array_index)
+        elif isinstance(expr, T.ArrayIndex):
+            self._compile_element_address(expr)
+            self.asm.emit(Op.HLOAD)
+        elif isinstance(expr, T.BinOp):
+            self._compile_expr(expr.lhs)
+            self._compile_expr(expr.rhs)
+            self.asm.emit(self._BINOP_OPS[expr.op])
+        elif isinstance(expr, T.UnaryOp):
+            self._compile_expr(expr.operand)
+            if expr.op == "-":
+                self.asm.emit(Op.NEG)
+            elif expr.op == "~":
+                self.asm.emit(Op.BNOT)
+            elif expr.op == "not":
+                self.asm.emit(Op.NOTL)
+            else:
+                raise CompileError(f"unknown unary op {expr.op!r}")
+        elif isinstance(expr, T.Compare):
+            self._compile_expr(expr.lhs)
+            self._compile_expr(expr.rhs)
+            self.asm.emit(self._CMP_OPS[expr.op])
+        elif isinstance(expr, T.BoolOp):
+            self._compile_boolop(expr)
+        elif isinstance(expr, T.IfExp):
+            else_label = self.asm.new_label()
+            end_label = self.asm.new_label()
+            self._compile_expr(expr.cond)
+            self.asm.emit_jump(Op.JZ, else_label)
+            self._compile_expr(expr.then)
+            self.asm.emit_jump(Op.JMP, end_label)
+            self.asm.bind(else_label)
+            self._compile_expr(expr.orelse)
+            self.asm.bind(end_label)
+        elif isinstance(expr, T.Call):
+            for arg in expr.args:
+                self._compile_expr(arg)
+            self.asm.emit(Op.CALL, expr.func_index)
+        elif isinstance(expr, T.Builtin):
+            for arg in expr.args:
+                self._compile_expr(arg)
+            if expr.name == "rand":
+                self.asm.emit(Op.RAND)
+            elif expr.name == "clock":
+                self.asm.emit(Op.CLOCK)
+            else:
+                raise CompileError(f"unknown builtin {expr.name!r}")
+        else:
+            raise CompileError(f"unknown expression {expr!r}")
+
+    def _compile_boolop(self, expr: T.BoolOp) -> None:
+        """Short-circuit and/or, normalized to 1/0."""
+        short_label = self.asm.new_label()
+        end_label = self.asm.new_label()
+        short_op = Op.JZ if expr.op == "and" else Op.JNZ
+        for operand in expr.operands:
+            self._compile_expr(operand)
+            self.asm.emit_jump(short_op, short_label)
+        self.asm.emit(Op.CONST, 1 if expr.op == "and" else 0)
+        self.asm.emit_jump(Op.JMP, end_label)
+        self.asm.bind(short_label)
+        self.asm.emit(Op.CONST, 0 if expr.op == "and" else 1)
+        self.asm.bind(end_label)
+
+    def _compile_element_address(
+            self, node: Union[T.ArrayIndex, T.AssignArray]) -> None:
+        """Push the heap address of ``arr[index]`` (+ record offset)."""
+        self.asm.emit(Op.ABASE, node.array_index)
+        self._compile_expr(node.index)
+        if node.stride != 1:
+            self.asm.emit(Op.CONST, node.stride)
+            self.asm.emit(Op.MUL)
+        self.asm.emit(Op.ADD)
+        if node.offset:
+            self.asm.emit(Op.CONST, node.offset)
+            self.asm.emit(Op.ADD)
+
+
+def compile_ast(prog: T.ProgramAST,
+                optimize_tail_calls: bool = True,
+                peephole: bool = True) -> Program:
+    """Compile a typed AST into an executable :class:`Program`.
+
+    ``peephole`` additionally runs the post-pass of
+    :mod:`repro.lang.optimizer` (constant folding, jump threading,
+    dead-code elimination).
+    """
+    functions: List[FunctionCode] = []
+    for index, fn in enumerate(prog.functions):
+        fc = _FunctionCompiler(prog, fn, index, optimize_tail_calls)
+        fc.asm.bind("__entry")
+        functions.append(fc.compile())
+    program = Program(
+        name=prog.name,
+        functions=tuple(functions),
+        field_table=prog.field_table,
+        array_table=prog.array_table,
+        source=prog.source,
+    )
+    if peephole:
+        from .optimizer import optimize_program
+        program = optimize_program(program)
+    return program
+
+
+def compile_action(fn: Union[Callable, str],
+                   packet_schema: Optional[Schema] = None,
+                   message_schema: Optional[Schema] = None,
+                   global_schema: Optional[Schema] = None,
+                   name: Optional[str] = None,
+                   optimize_tail_calls: bool = True,
+                   peephole: bool = True
+                   ) -> Tuple[T.ProgramAST, Program]:
+    """Frontend + backend in one step.
+
+    Returns both the typed AST (consumed by the native backend and by
+    concurrency analysis) and the compiled bytecode program.
+    """
+    prog_ast = lower(fn, packet_schema=packet_schema,
+                     message_schema=message_schema,
+                     global_schema=global_schema, name=name)
+    program = compile_ast(prog_ast,
+                          optimize_tail_calls=optimize_tail_calls,
+                          peephole=peephole)
+    return prog_ast, program

@@ -1,0 +1,37 @@
+"""End hosts.
+
+A :class:`Host` is a :class:`~repro.netsim.switchdev.Device` with an IP
+address and a bound :class:`~repro.stack.netstack.HostStack` (set by
+the stack's constructor).  The host itself only moves packets between
+its NIC ports and the stack; all protocol and Eden processing lives in
+the stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .link import Port
+from .packet import Packet
+from .simulator import Simulator
+from .switchdev import Device
+
+
+class Host(Device):
+    """An end host with one or more NIC ports."""
+
+    def __init__(self, sim: Simulator, name: str, ip: int) -> None:
+        super().__init__(sim, name)
+        self.ip = ip
+        self.stack = None
+        self.rx_packets = 0
+
+    def bind_stack(self, stack) -> None:
+        if self.stack is not None:
+            raise RuntimeError(f"host {self.name} already has a stack")
+        self.stack = stack
+
+    def receive(self, packet: Packet, from_port: Port) -> None:
+        self.rx_packets += 1
+        if self.stack is not None:
+            self.stack.handle_rx(packet, from_port)

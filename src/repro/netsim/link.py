@@ -1,0 +1,178 @@
+"""Output ports and links: strict-priority queues + serialization.
+
+Every device-to-device connection is a pair of unidirectional
+:class:`Port` objects.  A port owns eight strict-priority FIFO queues
+(802.1q priority code points 0-7, higher PCP served first — the
+commodity "network priorities" support Eden assumes, Section 3.5), a
+byte-capacity tail-drop limit, an optional ECN marking threshold, and
+the attached link's rate and propagation delay.
+
+Transmission is serialized: while a packet is on the wire the port is
+busy; when it goes idle the highest-priority head-of-line packet is
+transmitted next.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, TYPE_CHECKING
+
+from .packet import Packet
+from .simulator import SEC, Simulator
+
+if TYPE_CHECKING:
+    from .switchdev import Device
+
+NUM_PRIORITIES = 8
+DEFAULT_QUEUE_CAPACITY = 300_000      # bytes, shared across priorities
+DEFAULT_PROP_DELAY_NS = 1_000         # 1 us per hop
+
+
+class PortStats:
+    __slots__ = ("tx_packets", "tx_bytes", "drops", "drop_bytes",
+                 "ecn_marks", "busy_ns", "failed_drops")
+
+    def __init__(self) -> None:
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.drops = 0
+        self.drop_bytes = 0
+        self.ecn_marks = 0
+        self.busy_ns = 0
+        self.failed_drops = 0
+
+
+class Port:
+    """One unidirectional output port plus the link it drives."""
+
+    def __init__(self, sim: Simulator, name: str, rate_bps: int,
+                 prop_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+                 queue_capacity_bytes: int = DEFAULT_QUEUE_CAPACITY,
+                 ecn_threshold_bytes: Optional[int] = None) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"port {name}: rate must be positive")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.prop_delay_ns = prop_delay_ns
+        self.queue_capacity_bytes = queue_capacity_bytes
+        self.ecn_threshold_bytes = ecn_threshold_bytes
+        self.peer: Optional["Device"] = None
+        self._queues: List[Deque[Packet]] = [
+            deque() for _ in range(NUM_PRIORITIES)]
+        self._queued_bytes = 0
+        self._busy = False
+        self.failed = False
+        self.stats = PortStats()
+
+    # -- failure injection -------------------------------------------------
+
+    def fail(self) -> int:
+        """Take the link down: queued and future packets are lost.
+
+        Returns the number of packets dropped from the queue.  In-
+        flight packets (already serialized onto the wire) still
+        arrive, like a real fiber cut at the transmitter.
+        """
+        self.failed = True
+        dropped = 0
+        for queue in self._queues:
+            while queue:
+                packet = queue.popleft()
+                self._queued_bytes -= packet.size
+                self.stats.failed_drops += 1
+                dropped += 1
+        return dropped
+
+    def repair(self) -> None:
+        """Bring the link back up."""
+        self.failed = False
+
+    def connect(self, peer: "Device") -> None:
+        self.peer = peer
+
+    # -- enqueue/dequeue ---------------------------------------------------
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue a packet for transmission; False means tail-dropped."""
+        if self.peer is None:
+            raise RuntimeError(f"port {self.name} is not connected")
+        if self.failed:
+            self.stats.failed_drops += 1
+            return False
+        if self._queued_bytes + packet.size > \
+                self.queue_capacity_bytes:
+            self.stats.drops += 1
+            self.stats.drop_bytes += packet.size
+            return False
+        if self.ecn_threshold_bytes is not None and \
+                self._queued_bytes >= self.ecn_threshold_bytes:
+            packet.ecn = 1
+            self.stats.ecn_marks += 1
+        prio = min(max(packet.priority, 0), NUM_PRIORITIES - 1)
+        self._queues[prio].append(packet)
+        self._queued_bytes += packet.size
+        if not self._busy:
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        packet = None
+        for prio in range(NUM_PRIORITIES - 1, -1, -1):
+            if self._queues[prio]:
+                packet = self._queues[prio].popleft()
+                break
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        self._queued_bytes -= packet.size
+        tx_ns = packet.size * 8 * SEC // self.rate_bps
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += packet.size
+        self.stats.busy_ns += tx_ns
+        self.sim.schedule(tx_ns + self.prop_delay_ns,
+                          self._deliver, packet)
+        self.sim.schedule(tx_ns, self._tx_done)
+
+    def _tx_done(self) -> None:
+        self._transmit_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.hop_count += 1
+        self.peer.receive(packet, self)
+
+    # -- introspection -----------------------------------------------------
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of ``elapsed_ns`` the link spent transmitting."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_ns / elapsed_ns)
+
+    def __repr__(self) -> str:
+        return (f"Port({self.name}, {self.rate_bps / 1e9:g} Gbps, "
+                f"queued={self._queued_bytes}B)")
+
+
+def duplex_connect(sim: Simulator, a: "Device", b: "Device",
+                   rate_bps: int,
+                   prop_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+                   queue_capacity_bytes: int = DEFAULT_QUEUE_CAPACITY,
+                   ecn_threshold_bytes: Optional[int] = None
+                   ) -> "tuple[Port, Port]":
+    """Create the two directed ports of a full-duplex link a<->b and
+    attach them to the devices."""
+    a_to_b = Port(sim, f"{a.name}->{b.name}", rate_bps, prop_delay_ns,
+                  queue_capacity_bytes, ecn_threshold_bytes)
+    b_to_a = Port(sim, f"{b.name}->{a.name}", rate_bps, prop_delay_ns,
+                  queue_capacity_bytes, ecn_threshold_bytes)
+    a_to_b.connect(b)
+    b_to_a.connect(a)
+    a.attach_port(a_to_b, b)
+    b.attach_port(b_to_a, a)
+    return a_to_b, b_to_a

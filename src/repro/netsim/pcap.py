@@ -1,0 +1,125 @@
+"""pcap capture of simulated traffic.
+
+A :class:`PcapWriter` serializes packets with
+:mod:`repro.netsim.wire` and writes a standard little-endian pcap file
+(LINKTYPE_ETHERNET), so a simulation run can be inspected in
+Wireshark/tcpdump.  :class:`PortTap` attaches a writer to a
+:class:`~repro.netsim.link.Port` and records everything the port
+transmits, stamped with simulated time.
+
+Example::
+
+    tap = PortTap(sim, net.switches["tor"].port_to("h1"),
+                  "run.pcap")
+    sim.run(until_ns=...)
+    tap.close()
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Union
+
+from .link import Port
+from .packet import Packet
+from .simulator import Simulator
+from .wire import encode
+
+PCAP_MAGIC = 0xA1B2C3D4        # microsecond timestamps
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+GLOBAL_HEADER = struct.Struct("<IHHiIII")
+RECORD_HEADER = struct.Struct("<IIII")
+DEFAULT_SNAPLEN = 65535
+
+
+class PcapWriter:
+    """Writes packets to a pcap file (or any binary stream)."""
+
+    def __init__(self, destination: Union[str, BinaryIO],
+                 snaplen: int = DEFAULT_SNAPLEN) -> None:
+        if isinstance(destination, str):
+            self._stream: BinaryIO = open(destination, "wb")
+            self._owns_stream = True
+        else:
+            self._stream = destination
+            self._owns_stream = False
+        self.snaplen = snaplen
+        self.packets_written = 0
+        self._stream.write(GLOBAL_HEADER.pack(
+            PCAP_MAGIC, PCAP_VERSION[0], PCAP_VERSION[1],
+            0, 0, snaplen, LINKTYPE_ETHERNET))
+
+    def write(self, packet: Packet, timestamp_ns: int) -> None:
+        frame = encode(packet)
+        captured = frame[:self.snaplen]
+        seconds, remainder_ns = divmod(timestamp_ns, 1_000_000_000)
+        self._stream.write(RECORD_HEADER.pack(
+            seconds, remainder_ns // 1000, len(captured),
+            len(frame)))
+        self._stream.write(captured)
+        self.packets_written += 1
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PortTap:
+    """Mirrors every packet a port transmits into a pcap file."""
+
+    def __init__(self, sim: Simulator, port: Port,
+                 destination: Union[str, BinaryIO],
+                 snaplen: int = DEFAULT_SNAPLEN) -> None:
+        self.sim = sim
+        self.port = port
+        self.writer = PcapWriter(destination, snaplen=snaplen)
+        self._original_enqueue = port.enqueue
+        port.enqueue = self._tapped_enqueue  # type: ignore
+
+    def _tapped_enqueue(self, packet: Packet) -> bool:
+        accepted = self._original_enqueue(packet)
+        if accepted:
+            self.writer.write(packet, self.sim.now)
+        return accepted
+
+    def detach(self) -> None:
+        """Stop capturing (restores the port's enqueue)."""
+        self.port.enqueue = self._original_enqueue  # type: ignore
+
+    def close(self) -> None:
+        self.detach()
+        self.writer.close()
+
+
+def read_pcap(path: str):
+    """Parse a pcap file back into ``(timestamp_ns, Packet)`` pairs
+    (for tests and offline analysis; assumes frames written by
+    :class:`PcapWriter`)."""
+    from .wire import decode
+
+    out = []
+    with open(path, "rb") as stream:
+        header = stream.read(GLOBAL_HEADER.size)
+        (magic, _major, _minor, _tz, _sig, _snaplen,
+         linktype) = GLOBAL_HEADER.unpack(header)
+        if magic != PCAP_MAGIC:
+            raise ValueError(f"bad pcap magic {magic:#x}")
+        if linktype != LINKTYPE_ETHERNET:
+            raise ValueError(f"unsupported linktype {linktype}")
+        while True:
+            record = stream.read(RECORD_HEADER.size)
+            if len(record) < RECORD_HEADER.size:
+                break
+            seconds, micros, caplen, _origlen = \
+                RECORD_HEADER.unpack(record)
+            frame = stream.read(caplen)
+            timestamp_ns = seconds * 1_000_000_000 + micros * 1000
+            out.append((timestamp_ns, decode(frame)))
+    return out

@@ -1,0 +1,122 @@
+"""Route and path-label computation (the controller's network view).
+
+Section 3.5: "label-based forwarding and the corresponding control
+protocol is the primary functionality Eden requires of the underlying
+network."  The Eden controller uses this module to compute L3 routes
+(with ECMP next-hop sets), enumerate the disjoint/simple paths between
+host pairs, and install the label forwarding state that makes source
+routing work.  Path enumeration and shortest-path computation use
+networkx.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .simulator import GBPS
+from .topology import Network
+
+
+def as_graph(network: Network) -> "nx.Graph":
+    """The topology as a networkx graph with ``rate`` edge attributes."""
+    graph = nx.Graph()
+    for name in network.hosts:
+        graph.add_node(name, kind="host")
+    for name in network.switches:
+        graph.add_node(name, kind="switch")
+    for a, b, rate in network.links:
+        graph.add_edge(a, b, rate=rate)
+    return graph
+
+
+def install_l3_routes(network: Network) -> None:
+    """Install destination routes with ECMP next-hop sets.
+
+    For every switch and every host, the route's next hops are all
+    neighbors that lie on *some* shortest path to the host — the
+    standard ECMP configuration the paper's load-balancing discussion
+    starts from.
+    """
+    graph = as_graph(network)
+    for switch_name, switch in network.switches.items():
+        lengths = nx.single_source_shortest_path_length(graph,
+                                                        switch_name)
+        for host_name, host in network.hosts.items():
+            if host_name == switch_name:
+                continue
+            if host_name not in lengths:
+                continue
+            dist = lengths[host_name]
+            next_hops = []
+            for neighbor in graph.neighbors(switch_name):
+                if neighbor == host_name and dist == 1:
+                    next_hops.append(neighbor)
+                    continue
+                try:
+                    n_dist = nx.shortest_path_length(graph, neighbor,
+                                                     host_name)
+                except nx.NetworkXNoPath:
+                    continue
+                if n_dist == dist - 1 and \
+                        graph.nodes[neighbor]["kind"] == "switch":
+                    next_hops.append(neighbor)
+            if next_hops:
+                switch.install_route(host.ip, sorted(next_hops))
+
+
+def simple_paths(network: Network, src_host: str, dst_host: str,
+                 cutoff: Optional[int] = None
+                 ) -> List[Tuple[List[str], int]]:
+    """All simple paths between two hosts with bottleneck capacity.
+
+    Returns ``(node_list, bottleneck_bps)`` tuples, sorted by
+    decreasing bottleneck capacity then length — the controller input
+    for WCMP weight computation.
+    """
+    graph = as_graph(network)
+    results: List[Tuple[List[str], int]] = []
+    for path in nx.all_simple_paths(graph, src_host, dst_host,
+                                    cutoff=cutoff):
+        if any(graph.nodes[n]["kind"] == "host"
+               for n in path[1:-1]):
+            continue  # hosts do not forward
+        bottleneck = min(graph.edges[path[i], path[i + 1]]["rate"]
+                         for i in range(len(path) - 1))
+        results.append((path, bottleneck))
+    results.sort(key=lambda item: (-item[1], len(item[0])))
+    return results
+
+
+def install_path_labels(network: Network, label: int,
+                        path: Sequence[str]) -> None:
+    """Install ``label -> next hop`` entries along a path's switches."""
+    for i, node in enumerate(path[:-1]):
+        if node in network.switches:
+            network.switches[node].install_label(label, path[i + 1])
+
+
+def provision_labeled_paths(network: Network, src_host: str,
+                            dst_host: str,
+                            first_label: int = 1,
+                            cutoff: Optional[int] = None
+                            ) -> List[Tuple[int, List[str], int]]:
+    """Enumerate paths, assign labels, and install forwarding state.
+
+    Returns ``(label, path, bottleneck_bps)`` rows.  Also fills in the
+    source host's ``path_port_map`` so the stack emits each label on
+    the right NIC port.
+    """
+    rows: List[Tuple[int, List[str], int]] = []
+    label = first_label
+    src = network.hosts[src_host]
+    for path, bottleneck in simple_paths(network, src_host, dst_host,
+                                         cutoff=cutoff):
+        install_path_labels(network, label, path)
+        if src.stack is not None and len(path) >= 2:
+            src.stack.path_port_map[label] = path[1]
+        rows.append((label, list(path), bottleneck))
+        label += 1
+    return rows

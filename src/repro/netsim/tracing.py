@@ -1,0 +1,157 @@
+"""Measurement: flow-completion times, throughput, and summaries.
+
+The paper's evaluation reports average and 95th-percentile flow
+completion times bucketed by flow size (Fig 9), aggregate throughput
+(Figs 10 and 11), and relative CPU overheads (Fig 12).  This module
+collects the raw samples and computes those summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .simulator import SEC
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile; 0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1,
+               max(0, int(round(pct / 100.0 * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class FlowRecord:
+    """One completed request/flow/message."""
+
+    flow_id: object
+    size_bytes: int
+    started_at: int
+    completed_at: int
+    kind: str = "flow"
+
+    @property
+    def fct_ns(self) -> int:
+        return self.completed_at - self.started_at
+
+    @property
+    def fct_us(self) -> float:
+        return self.fct_ns / 1_000.0
+
+
+class FlowTracker:
+    """Collects :class:`FlowRecord` samples and summarizes them."""
+
+    def __init__(self) -> None:
+        self.records: List[FlowRecord] = []
+
+    def record(self, flow_id: object, size_bytes: int,
+               started_at: int, completed_at: int,
+               kind: str = "flow") -> FlowRecord:
+        rec = FlowRecord(flow_id=flow_id, size_bytes=size_bytes,
+                         started_at=started_at,
+                         completed_at=completed_at, kind=kind)
+        self.records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filtered(self, min_size: int = 0,
+                 max_size: Optional[int] = None,
+                 kind: Optional[str] = None) -> List[FlowRecord]:
+        out = []
+        for rec in self.records:
+            if rec.size_bytes < min_size:
+                continue
+            if max_size is not None and rec.size_bytes >= max_size:
+                continue
+            if kind is not None and rec.kind != kind:
+                continue
+            out.append(rec)
+        return out
+
+    def fct_summary_us(self, min_size: int = 0,
+                       max_size: Optional[int] = None,
+                       kind: Optional[str] = None
+                       ) -> Tuple[float, float, int]:
+        """(mean, 95th percentile, count) of FCT in microseconds."""
+        fcts = [r.fct_us for r in self.filtered(min_size, max_size,
+                                                kind)]
+        return mean(fcts), percentile(fcts, 95.0), len(fcts)
+
+
+class ThroughputMeter:
+    """Accumulates delivered bytes to report goodput.
+
+    Individual ``(time, bytes)`` samples are retained so throughput
+    can be computed over an arbitrary window (e.g. excluding warmup).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.bytes_total = 0
+        self.samples: List[Tuple[int, int]] = []
+        self.first_at: Optional[int] = None
+        self.last_at: Optional[int] = None
+
+    def add(self, nbytes: int, now_ns: int) -> None:
+        if self.first_at is None:
+            self.first_at = now_ns
+        self.last_at = now_ns
+        self.bytes_total += nbytes
+        self.samples.append((now_ns, nbytes))
+
+    def bytes_in_window(self, start_ns: int, end_ns: int) -> int:
+        return sum(b for t, b in self.samples
+                   if start_ns <= t <= end_ns)
+
+    def mbps(self, start_ns: Optional[int] = None,
+             end_ns: Optional[int] = None) -> float:
+        """Average goodput in Mbit/s over the observed (or given)
+        window."""
+        start = start_ns if start_ns is not None else self.first_at
+        end = end_ns if end_ns is not None else self.last_at
+        if start is None or end is None or end <= start:
+            return 0.0
+        window_bytes = self.bytes_in_window(start, end)
+        return window_bytes * 8.0 * SEC / (end - start) / 1e6
+
+    def mbytes_per_s(self, start_ns: Optional[int] = None,
+                     end_ns: Optional[int] = None) -> float:
+        return self.mbps(start_ns, end_ns) / 8.0
+
+
+@dataclass
+class SeriesStats:
+    """Mean and a (normal-approximation) 95% confidence half-width."""
+
+    label: str
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return mean(self.values)
+
+    @property
+    def ci95(self) -> float:
+        n = len(self.values)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        var = sum((v - mu) ** 2 for v in self.values) / (n - 1)
+        return 1.96 * (var / n) ** 0.5
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.mean:.1f} ± {self.ci95:.1f}"

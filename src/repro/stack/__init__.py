@@ -1,0 +1,7 @@
+"""End-host network stack: TX/RX paths, enclave hook, rate limiters."""
+
+from .netstack import HostStack, StackError
+from .ratelimiter import RateLimitedQueue, RateLimiterBank
+
+__all__ = ["HostStack", "RateLimitedQueue", "RateLimiterBank",
+           "StackError"]

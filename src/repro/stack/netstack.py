@@ -1,0 +1,178 @@
+"""The end-host network stack with the Eden enclave at its bottom.
+
+Mirrors Figure 5 of the paper.  On transmit, a packet produced by the
+transport (already tagged with its message's class and metadata — the
+*API* step of Section 4.2) passes through the enclave's match-action
+pipeline, then through any rate-limited queue the action functions
+selected, and finally out of the NIC port chosen by the packet's path
+label.  On receive, packets are optionally run through the enclave
+(needed by receive-side functions such as stateful firewalls) and
+demultiplexed to TCP connections or listeners.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.accounting import CpuAccounting
+from ..core.enclave import Enclave
+from ..netsim.packet import FLAG_SYN, Packet, PROTO_TCP
+from ..netsim.simulator import Simulator
+from ..transport.tcp import TcpConnection
+from .ratelimiter import RateLimiterBank
+
+
+class StackError(Exception):
+    """The host stack was misconfigured or misused."""
+
+
+class HostStack:
+    """Transport + Eden data path of one end host."""
+
+    def __init__(self, sim: Simulator, host,
+                 enclave: Optional[Enclave] = None,
+                 accounting: Optional[CpuAccounting] = None,
+                 process_rx: bool = False,
+                 process_pure_acks: bool = True,
+                 stack_latency_ns: int = 300,
+                 interpreter_ns_per_op: int = 12,
+                 native_action_cost_ns: int = 150) -> None:
+        self.sim = sim
+        self.host = host
+        self.enclave = enclave
+        self.accounting = accounting or CpuAccounting(enabled=False)
+        self.process_rx = process_rx
+        self.process_pure_acks = process_pure_acks
+        # Simulated per-packet processing costs (Section 5.4's CPU
+        # overheads translated into data-path latency): the vanilla
+        # stack cost, the per-bytecode-op interpreter cost, and the
+        # cost of one natively compiled action.
+        self.stack_latency_ns = stack_latency_ns
+        self.interpreter_ns_per_op = interpreter_ns_per_op
+        self.native_action_cost_ns = native_action_cost_ns
+        self._last_emit_at = 0
+        self.rate_limiters = RateLimiterBank(sim, self._emit)
+        self._connections: Dict[Tuple, TcpConnection] = {}
+        self._listeners: Dict[int, Callable] = {}
+        self._ephemeral_ports = itertools.count(40_000)
+        #: path label -> neighbor name; label 0 / unmapped labels use
+        #: :attr:`default_peer` if set, else the first attached port.
+        self.path_port_map: Dict[int, str] = {}
+        self.default_peer: Optional[str] = None
+        self.packets_sent = 0
+        self.packets_dropped_by_enclave = 0
+        self.packets_to_controller = 0
+        host.bind_stack(self)
+
+    @property
+    def ip(self) -> int:
+        return self.host.ip
+
+    # -- connection management ------------------------------------------------
+
+    def listen(self, port: int,
+               on_connection: Callable[[TcpConnection], None]) -> None:
+        """Accept connections on ``port``; the callback receives each
+        new connection before its SYN is processed."""
+        if port in self._listeners:
+            raise StackError(f"port {port} already has a listener")
+        self._listeners[port] = on_connection
+
+    def connect(self, remote_ip: int, remote_port: int,
+                local_port: Optional[int] = None,
+                tenant: int = 0) -> TcpConnection:
+        """Actively open a TCP connection."""
+        if local_port is None:
+            local_port = next(self._ephemeral_ports)
+        conn = TcpConnection(self.sim, self, self.ip, local_port,
+                             remote_ip, remote_port, tenant=tenant)
+        key = conn.five_tuple
+        if key in self._connections:
+            raise StackError(f"connection {key} already exists")
+        self._connections[key] = conn
+        conn.connect()
+        return conn
+
+    def connection_done(self, conn: TcpConnection) -> None:
+        self._connections.pop(conn.five_tuple, None)
+
+    def connections(self) -> List[TcpConnection]:
+        return list(self._connections.values())
+
+    # -- transmit path ---------------------------------------------------------
+
+    def send_packet(self, packet: Packet,
+                    pure_ack: bool = False) -> None:
+        """TX entry point used by the transport."""
+        t0 = self.accounting.now()
+        # The "API" step: metadata already attached by the transport's
+        # message bookkeeping travels with the packet into the enclave.
+        classifications = packet.classifications
+        self.accounting.record("api", self.accounting.now() - t0)
+
+        delay = self.stack_latency_ns
+        if self.enclave is not None and \
+                (self.process_pure_acks or not pure_ack):
+            result = self.enclave.process_packet(
+                packet, classifications, now_ns=self.sim.now)
+            if result.to_controller:
+                self.packets_to_controller += 1
+            if result.drop:
+                self.packets_dropped_by_enclave += 1
+                return
+            delay += self.enclave.per_packet_base_cost_ns
+            if result.interpreter_ops:
+                delay += result.interpreter_ops * \
+                    self.interpreter_ns_per_op
+            elif result.executed:
+                delay += len(result.executed) * \
+                    self.native_action_cost_ns
+        # Per-packet processing delay; clamped monotonic so the stack
+        # never reorders its own transmissions.
+        emit_at = max(self.sim.now + delay, self._last_emit_at)
+        self._last_emit_at = emit_at
+        self.sim.at(emit_at, self.rate_limiters.submit, packet)
+
+    def _emit(self, packet: Packet) -> None:
+        """Hand a packet to the NIC port selected by its path label."""
+        port = None
+        if packet.path_id and packet.path_id in self.path_port_map:
+            port = self.host.port_to(
+                self.path_port_map[packet.path_id])
+        elif self.default_peer is not None:
+            port = self.host.port_to(self.default_peer)
+        elif self.host.ports:
+            port = self.host.ports[0]
+        if port is None:
+            raise StackError(
+                f"host {self.host.name} has no port for packet "
+                f"{packet!r}")
+        self.packets_sent += 1
+        port.enqueue(packet)
+
+    # -- receive path ------------------------------------------------------------
+
+    def handle_rx(self, packet: Packet, from_port) -> None:
+        if packet.dst_ip != self.ip:
+            return  # not ours; hosts do not forward
+        if self.enclave is not None and self.process_rx:
+            result = self.enclave.process_packet(
+                packet, packet.classifications, now_ns=self.sim.now)
+            if result.drop:
+                return
+        key = packet.reverse_five_tuple
+        conn = self._connections.get(key)
+        if conn is None:
+            if packet.flags & FLAG_SYN and \
+                    packet.dst_port in self._listeners and \
+                    packet.proto == PROTO_TCP:
+                conn = TcpConnection(
+                    self.sim, self, self.ip, packet.dst_port,
+                    packet.src_ip, packet.src_port,
+                    tenant=packet.tenant)
+                self._connections[key] = conn
+                self._listeners[packet.dst_port](conn)
+            else:
+                return  # no connection, no listener: silently dropped
+        conn.handle_packet(packet)

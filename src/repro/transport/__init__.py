@@ -1,0 +1,11 @@
+"""Transport layer: TCP with message boundaries and the socket API."""
+
+from .sockets import MessageSocket
+from .tcp import (ACK_PRIORITY, DUPACK_THRESHOLD, INITIAL_CWND_MSS,
+                  MessageRecord, MIN_RTO_NS, TcpConnection, TcpStats)
+
+__all__ = [
+    "ACK_PRIORITY", "DUPACK_THRESHOLD", "INITIAL_CWND_MSS",
+    "MIN_RTO_NS", "MessageRecord", "MessageSocket", "TcpConnection",
+    "TcpStats",
+]

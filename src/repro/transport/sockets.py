@@ -1,0 +1,56 @@
+"""The Eden-extended socket interface.
+
+Section 4.2: "we have extended the socket interface to implement an
+additional send primitive that accepts class and metadata information".
+:class:`MessageSocket` is that primitive: it wraps a TCP connection and
+a stage, classifies each message the application sends through the
+stage's installed rule-sets, and attaches the resulting class names and
+metadata to the message so every packet carries them to the enclave.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from ..core.stage import Classification, Stage
+from .tcp import MessageRecord, TcpConnection
+
+
+class MessageSocket:
+    """A stage-aware socket: ``send`` == the paper's extended send."""
+
+    def __init__(self, connection: TcpConnection,
+                 stage: Optional[Stage] = None) -> None:
+        self.connection = connection
+        self.stage = stage
+        self.messages_sent = 0
+
+    def send(self, nbytes: int,
+             attrs: Optional[Mapping[str, object]] = None,
+             on_complete: Optional[Callable[[MessageRecord, int],
+                                            None]] = None
+             ) -> MessageRecord:
+        """Send one application message of ``nbytes``.
+
+        ``attrs`` carries the stage-specific attributes of the message
+        (e.g. ``msg_type``/``key`` for memcached); the stage's
+        classification rules decide which of them, plus a fresh message
+        id, travel with the packets.  With no stage bound, the send
+        degrades to a plain (unclassified) message — the enclave will
+        fall back to its own flow-granularity classification.
+        """
+        classifications = []
+        metadata: Dict[str, object] = {}
+        if self.stage is not None:
+            send_attrs = dict(attrs or {})
+            send_attrs.setdefault("msg_size", nbytes)
+            classifications = self.stage.classify(send_attrs)
+            for cls in classifications:
+                metadata.update(cls.metadata)
+        self.messages_sent += 1
+        return self.connection.message_send(
+            nbytes, classifications=classifications,
+            metadata=metadata, on_complete=on_complete)
+
+    def close(self) -> None:
+        self.connection.close()

@@ -1,0 +1,180 @@
+"""Tests for the application stages: memcached, HTTP, storage,
+workloads."""
+
+import pytest
+
+from repro.apps import (FlowSizeDistribution, HttpClient, HttpServer,
+                        IO_SIZE, MemcachedClient, MemcachedServer,
+                        OP_READ, OP_WRITE, READ_PORT, SEARCH_CDF,
+                        StorageClient, StorageServer, WRITE_PORT,
+                        key_hash)
+from repro.netsim import GBPS, MS, Simulator, star
+from repro.stack import HostStack
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator(seed=6)
+    net = star(sim, 3, host_rate_bps=10 * GBPS)
+    stacks = {name: HostStack(sim, host)
+              for name, host in net.hosts.items()}
+    return sim, net, stacks
+
+
+class TestFlowSizeDistribution:
+    def test_samples_within_support(self):
+        dist = FlowSizeDistribution()
+        sim = Simulator(seed=1)
+        for _ in range(200):
+            size = dist.sample(sim.rng)
+            assert 1 <= size <= SEARCH_CDF[-1][0]
+
+    def test_mostly_small_flows(self):
+        # "traffic mostly comprising small flows of a few packets".
+        dist = FlowSizeDistribution()
+        sim = Simulator(seed=1)
+        samples = [dist.sample(sim.rng) for _ in range(2000)]
+        small = sum(1 for s in samples if s < 10_000)
+        assert small / len(samples) > 0.5
+
+    def test_mean_reasonable(self):
+        mean = FlowSizeDistribution().mean()
+        assert 10_000 < mean < 1_000_000
+
+    def test_bad_cdf_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSizeDistribution([(100, 0.5)])  # does not reach 1.0
+        with pytest.raises(ValueError):
+            FlowSizeDistribution([(100, 0.7), (200, 0.3)])
+
+
+class TestMemcached:
+    def test_put_then_get_roundtrip(self, rig):
+        sim, net, stacks = rig
+        server = MemcachedServer(sim, stacks["h2"])
+        client = MemcachedClient(sim, stacks["h1"], server,
+                                 net.host_ip("h2"))
+        done = []
+        client.put("alpha", 40_000,
+                   on_ack=lambda key, ns: done.append(("put", ns)))
+        sim.run(until_ns=50 * MS)
+        client.get("alpha",
+                   on_value=lambda key, size, ns: done.append(
+                       ("get", size)))
+        sim.run(until_ns=100 * MS)
+        assert ("put", done[0][1]) == done[0]
+        assert done[1] == ("get", 40_000)
+        assert server.store["alpha"] == 40_000
+        assert client.completed == {"GET": 1, "PUT": 1}
+
+    def test_get_missing_key_serves_default(self, rig):
+        sim, net, stacks = rig
+        server = MemcachedServer(sim, stacks["h2"])
+        client = MemcachedClient(sim, stacks["h1"], server,
+                                 net.host_ip("h2"))
+        sizes = []
+        client.get("ghost",
+                   on_value=lambda k, size, ns: sizes.append(size))
+        sim.run(until_ns=50 * MS)
+        assert sizes == [128]
+
+    def test_key_hash_deterministic(self):
+        assert key_hash("abc") == key_hash("abc")
+        assert key_hash("abc") != key_hash("abd")
+        assert key_hash("x") >= 0
+
+
+class TestHttp:
+    def test_fetch(self, rig):
+        sim, net, stacks = rig
+        server = HttpServer(sim, stacks["h2"])
+        server.add_resource("/big", 200_000)
+        client = HttpClient(sim, stacks["h1"], server,
+                            net.host_ip("h2"))
+        done = []
+        client.fetch("/big", on_done=lambda url, size, ns: done.append(
+            (url, size)))
+        sim.run(until_ns=100 * MS)
+        assert done == [("/big", 200_000)]
+        assert server.requests == 1
+
+    def test_unknown_url_default_size(self, rig):
+        sim, net, stacks = rig
+        server = HttpServer(sim, stacks["h2"])
+        client = HttpClient(sim, stacks["h1"], server,
+                            net.host_ip("h2"))
+        done = []
+        client.fetch("/nope",
+                     on_done=lambda u, size, ns: done.append(size))
+        sim.run(until_ns=50 * MS)
+        assert done == [1000]
+
+
+class TestStorage:
+    def test_read_ops_complete(self, rig):
+        sim, net, stacks = rig
+        server = StorageServer(sim, stacks["h3"])
+        client = StorageClient(sim, stacks["h1"],
+                               net.host_ip("h3"), READ_PORT,
+                               OP_READ, tenant=1,
+                               gen_ops_per_sec=500)
+        sim.run(until_ns=60 * MS)
+        assert client.ops_done > 5
+        assert server.ops_completed[OP_READ] >= client.ops_done
+
+    def test_write_ops_complete(self, rig):
+        sim, net, stacks = rig
+        server = StorageServer(sim, stacks["h3"])
+        client = StorageClient(sim, stacks["h2"],
+                               net.host_ip("h3"), WRITE_PORT,
+                               OP_WRITE, tenant=2,
+                               gen_ops_per_sec=500)
+        sim.run(until_ns=60 * MS)
+        assert client.ops_done > 5
+        assert server.ops_completed[OP_WRITE] >= client.ops_done
+
+    def test_backend_serializes_ops(self, rig):
+        sim, net, stacks = rig
+        server = StorageServer(sim, stacks["h3"],
+                               backend_bps=1 * GBPS,
+                               per_op_ns=20_000)
+        client = StorageClient(sim, stacks["h1"],
+                               net.host_ip("h3"), READ_PORT,
+                               OP_READ, tenant=1,
+                               gen_ops_per_sec=100_000)
+        sim.run(until_ns=60 * MS)
+        # Service rate bound: 64 KB per ~544 us -> <= ~110 in 60 ms.
+        assert server.ops_completed[OP_READ] <= 115
+        assert server.queue_max > 1
+
+    def test_bad_op_rejected(self, rig):
+        sim, net, stacks = rig
+        with pytest.raises(ValueError):
+            StorageClient(sim, stacks["h1"], 1, READ_PORT, 99,
+                          tenant=1)
+
+    def test_closed_loop_mode(self, rig):
+        sim, net, stacks = rig
+        StorageServer(sim, stacks["h3"])
+        client = StorageClient(sim, stacks["h1"],
+                               net.host_ip("h3"), READ_PORT,
+                               OP_READ, tenant=1,
+                               gen_ops_per_sec=1_000_000,
+                               max_outstanding=2)
+        sim.run(until_ns=20 * MS)
+        assert client._in_flight <= 2
+        assert client.ops_done > 0
+
+
+class TestDataMiningDistribution:
+    def test_heavier_tail_than_search(self):
+        from repro.apps import DATA_MINING_CDF
+        from repro.netsim import Simulator
+        mining = FlowSizeDistribution(DATA_MINING_CDF)
+        search = FlowSizeDistribution()
+        assert mining.mean() > search.mean()
+        sim = Simulator(seed=5)
+        samples = [mining.sample(sim.rng) for _ in range(2000)]
+        tiny = sum(1 for s in samples if s < 2_000)
+        assert tiny / len(samples) > 0.4  # most flows are tiny
+        assert max(samples) > 5_000_000   # but elephants exist

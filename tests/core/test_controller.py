@@ -1,0 +1,141 @@
+"""Tests for the Eden controller: registry, APIs, control algorithms."""
+
+import pytest
+
+from repro.core import (Classifier, Controller, ControllerError,
+                        Enclave, memcached_stage)
+
+
+def mark_priority(packet):
+    packet.priority = 3
+
+
+@pytest.fixture
+def controller():
+    return Controller()
+
+
+class TestRegistry:
+    def test_register_and_fetch_enclave(self, controller):
+        enclave = Enclave("h1.enclave")
+        controller.register_enclave("h1", enclave)
+        assert controller.enclave("h1") is enclave
+        assert controller.hosts() == ["h1"]
+
+    def test_duplicate_enclave_rejected(self, controller):
+        controller.register_enclave("h1", Enclave("a"))
+        with pytest.raises(ControllerError):
+            controller.register_enclave("h1", Enclave("b"))
+
+    def test_unknown_host_rejected(self, controller):
+        with pytest.raises(ControllerError):
+            controller.enclave("nowhere")
+
+    def test_register_and_fetch_stage(self, controller):
+        stage = memcached_stage()
+        controller.register_stage("h1", stage)
+        assert controller.stage("h1", "memcached") is stage
+        assert controller.stages_at("h1") == ["memcached"]
+
+    def test_duplicate_stage_rejected(self, controller):
+        controller.register_stage("h1", memcached_stage())
+        with pytest.raises(ControllerError):
+            controller.register_stage("h1", memcached_stage())
+
+
+class TestStageApiPassthrough:
+    def test_get_stage_info(self, controller):
+        controller.register_stage("h1", memcached_stage())
+        info = controller.get_stage_info("h1", "memcached")
+        assert info.name == "memcached"
+
+    def test_create_and_remove_rule(self, controller):
+        stage = memcached_stage()
+        controller.register_stage("h1", stage)
+        rid = controller.create_stage_rule(
+            "h1", "memcached", "r1", Classifier.of(msg_type="GET"),
+            "GET", ["msg_id"])
+        assert stage.classify({"msg_type": "GET"})
+        controller.remove_stage_rule("h1", "memcached", "r1", rid)
+        assert stage.classify({"msg_type": "GET"}) == []
+
+
+class TestEnclaveApiPassthrough:
+    def test_install_on_multiple_hosts(self, controller):
+        for host in ("h1", "h2"):
+            controller.register_enclave(host,
+                                        Enclave(f"{host}.enclave"))
+        installed = controller.install_function(
+            ["h1", "h2"], mark_priority)
+        assert len(installed) == 2
+        rules = controller.install_rule(["h1", "h2"], "*",
+                                        "mark_priority")
+        assert len(rules) == 2
+
+    def test_star_addresses_all_hosts(self, controller):
+        for host in ("h1", "h2", "h3"):
+            controller.register_enclave(host,
+                                        Enclave(f"{host}.enclave"))
+        installed = controller.install_function("*", mark_priority)
+        assert len(installed) == 3
+
+
+class TestWcmpWeights:
+    def test_proportional_to_capacity(self):
+        weights = Controller.wcmp_weights([(1, 10e9), (2, 1e9)])
+        by_id = {w.path_id: w.weight for w in weights}
+        assert by_id[1] == 909 and by_id[2] == 91
+
+    def test_sum_equals_scale(self):
+        weights = Controller.wcmp_weights(
+            [(1, 3.0), (2, 3.0), (3, 3.0)], scale=1000)
+        assert sum(w.weight for w in weights) == 1000
+
+    def test_equal_capacities_give_ecmp(self):
+        weights = Controller.wcmp_weights([(1, 5.0), (2, 5.0)])
+        assert weights[0].weight == weights[1].weight
+
+    def test_empty_rejected(self):
+        with pytest.raises(ControllerError):
+            Controller.wcmp_weights([])
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ControllerError):
+            Controller.wcmp_weights([(1, 0.0)])
+
+
+class TestPiasThresholds:
+    def test_bands_are_quantiles(self):
+        sizes = [1000] * 50 + [100_000] * 30 + [10_000_000] * 20
+        rows = Controller.pias_thresholds(sizes, num_priorities=3,
+                                          max_priority=7)
+        assert len(rows) == 3
+        limits = [r[0] for r in rows]
+        prios = [r[1] for r in rows]
+        assert prios == [7, 6, 5]
+        assert limits[0] <= limits[1] <= limits[2]
+        assert limits[-1] > 10_000_000  # unbounded last band
+
+    def test_needs_samples(self):
+        with pytest.raises(ControllerError):
+            Controller.pias_thresholds([])
+
+    def test_needs_two_bands(self):
+        with pytest.raises(ControllerError):
+            Controller.pias_thresholds([1, 2], num_priorities=1)
+
+    def test_limits_non_decreasing_on_skewed_data(self):
+        rows = Controller.pias_thresholds([5] * 100,
+                                          num_priorities=4)
+        limits = [r[0] for r in rows]
+        assert limits == sorted(limits)
+
+
+class TestTenantQueueMap:
+    def test_assignment(self):
+        qmap = Controller.tenant_queue_map(["tb", "ta"])
+        assert qmap == {"ta": 1, "tb": 2}
+
+    def test_base_queue_offset(self):
+        qmap = Controller.tenant_queue_map(["x"], base_queue=10)
+        assert qmap == {"x": 10}

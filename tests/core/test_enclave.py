@@ -1,0 +1,419 @@
+"""Tests for the enclave: tables, runtime, state commit, safety."""
+
+import pytest
+
+from repro.core import (Classification, ConcurrencyGuard,
+                        ConcurrencyLevel, ConcurrencyViolation,
+                        Enclave, EnclaveError, MatchRule,
+                        PLACEMENT_NIC, PLACEMENT_OS)
+from repro.lang import (AccessLevel, Field, FieldKind, Lifetime,
+                        schema)
+
+
+# Action functions must live at module level so their source is
+# recoverable by the quotation step.
+
+def set_priority_five(packet):
+    packet.priority = 5
+
+
+def drop_small(packet):
+    if packet.size < 100:
+        packet.drop = 1
+
+
+def count_message_bytes(packet, msg):
+    msg.total = msg.total + packet.size
+
+
+def use_threshold(packet, _global):
+    if packet.size > _global.threshold:
+        packet.priority = 1
+    else:
+        packet.priority = 6
+
+
+def faulty_divide(packet):
+    packet.priority = 100 // (packet.size - 54)
+
+
+def bump_counter(packet, _global):
+    _global.counter = _global.counter + 1
+
+
+def to_controller_fn(packet):
+    packet.to_controller = 1
+
+
+MSG_SCHEMA = schema("Msg", Lifetime.MESSAGE, [
+    Field("total", AccessLevel.READ_WRITE),
+])
+GLB_SCHEMA = schema("Glb", Lifetime.GLOBAL, [
+    Field("threshold", AccessLevel.READ_ONLY, default=1000),
+])
+COUNTER_SCHEMA = schema("Cnt", Lifetime.GLOBAL, [
+    Field("counter", AccessLevel.READ_WRITE),
+])
+
+
+class FakePacket:
+    def __init__(self, **kw):
+        self.src_ip = kw.get("src_ip", 1)
+        self.dst_ip = kw.get("dst_ip", 2)
+        self.src_port = kw.get("src_port", 1000)
+        self.dst_port = kw.get("dst_port", 80)
+        self.proto = 6
+        self.size = kw.get("size", 1500)
+        self.priority = 0
+        self.path_id = 0
+        self.drop = 0
+        self.to_controller = 0
+        self.queue_id = 0
+        self.charge = 0
+        self.ecn = 0
+        self.tenant = kw.get("tenant", 0)
+
+
+@pytest.fixture
+def enclave():
+    return Enclave("test.enclave")
+
+
+class TestFunctionInstallation:
+    def test_install_and_list(self, enclave):
+        enclave.install_function(set_priority_five)
+        assert enclave.functions() == ["set_priority_five"]
+
+    def test_duplicate_name_rejected(self, enclave):
+        enclave.install_function(set_priority_five)
+        with pytest.raises(EnclaveError, match="already installed"):
+            enclave.install_function(set_priority_five)
+
+    def test_unknown_backend_rejected(self, enclave):
+        with pytest.raises(EnclaveError, match="backend"):
+            enclave.install_function(set_priority_five,
+                                     name="x", backend="jit")
+
+    def test_message_schema_with_arrays_rejected(self, enclave):
+        bad = schema("B", Lifetime.MESSAGE,
+                     [Field("xs", kind=FieldKind.ARRAY)])
+        with pytest.raises(EnclaveError, match="scalar"):
+            enclave.install_function(set_priority_five, name="x",
+                                     message_schema=bad)
+
+    def test_remove_function(self, enclave):
+        enclave.install_function(set_priority_five)
+        enclave.remove_function("set_priority_five")
+        assert enclave.functions() == []
+
+    def test_remove_referenced_function_rejected(self, enclave):
+        enclave.install_function(set_priority_five)
+        enclave.install_rule("*", "set_priority_five")
+        with pytest.raises(EnclaveError, match="referenced"):
+            enclave.remove_function("set_priority_five")
+
+    def test_concurrency_derived(self, enclave):
+        fn = enclave.install_function(count_message_bytes,
+                                      message_schema=MSG_SCHEMA)
+        assert fn.concurrency is ConcurrencyLevel.PER_MESSAGE
+
+
+class TestTablesAndRules:
+    def test_rule_for_unknown_function_rejected(self, enclave):
+        with pytest.raises(EnclaveError, match="unknown function"):
+            enclave.install_rule("*", "nope")
+
+    def test_rule_patterns(self):
+        rule = MatchRule(1, "memcached.r1.*", "f")
+        assert rule.matches("memcached.r1.GET")
+        assert not rule.matches("memcached.r2.GET")
+        exact = MatchRule(2, "app.r1.msg", "f")
+        assert exact.matches("app.r1.msg")
+        assert not exact.matches("app.r1.msg2")
+        wild = MatchRule(3, "*", "f")
+        assert wild.matches("anything.at.all")
+
+    def test_priority_ordering(self, enclave):
+        enclave.install_function(set_priority_five)
+        enclave.install_function(drop_small, name="drop_small")
+        enclave.install_rule("*", "set_priority_five", priority=0)
+        enclave.install_rule("*", "drop_small", priority=10)
+        packet = FakePacket(size=50)
+        result = enclave.process_packet(packet)
+        assert result.executed == ["drop_small"]
+
+    def test_remove_rule(self, enclave):
+        enclave.install_function(set_priority_five)
+        rid = enclave.install_rule("*", "set_priority_five")
+        enclave.remove_rule(rid)
+        packet = FakePacket()
+        result = enclave.process_packet(packet)
+        assert result.executed == []
+
+    def test_remove_unknown_rule_rejected(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.remove_rule(77)
+
+    def test_table_chaining(self, enclave):
+        enclave.create_table(1)
+        enclave.install_function(set_priority_five)
+        enclave.install_function(to_controller_fn,
+                                 name="to_controller_fn")
+        enclave.install_rule("*", "set_priority_five", table_id=0,
+                             next_table=1)
+        enclave.install_rule("*", "to_controller_fn", table_id=1)
+        packet = FakePacket()
+        result = enclave.process_packet(packet)
+        assert result.executed == ["set_priority_five",
+                                   "to_controller_fn"]
+        assert packet.priority == 5 and result.to_controller
+
+    def test_next_table_must_exist(self, enclave):
+        enclave.install_function(set_priority_five)
+        with pytest.raises(EnclaveError, match="next table"):
+            enclave.install_rule("*", "set_priority_five",
+                                 next_table=9)
+
+    def test_table_zero_cannot_be_deleted(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.delete_table(0)
+
+    def test_create_duplicate_table_rejected(self, enclave):
+        enclave.create_table(1)
+        with pytest.raises(EnclaveError):
+            enclave.create_table(1)
+
+
+class TestProcessing:
+    def test_packet_write_committed(self, enclave):
+        enclave.install_function(set_priority_five)
+        enclave.install_rule("*", "set_priority_five")
+        packet = FakePacket()
+        result = enclave.process_packet(packet)
+        assert packet.priority == 5
+        assert result.executed == ["set_priority_five"]
+
+    def test_dry_run_skips_packet_writes(self, enclave):
+        # The paper's "baseline EDEN" configuration (Section 5.1).
+        fn = enclave.install_function(set_priority_five,
+                                      commit_packet_writes=False)
+        enclave.install_rule("*", "set_priority_five")
+        packet = FakePacket()
+        result = enclave.process_packet(packet)
+        assert packet.priority == 0          # output ignored
+        assert result.executed == ["set_priority_five"]
+        assert fn.stats.invocations == 1     # but the work happened
+
+    def test_drop_decision(self, enclave):
+        enclave.install_function(drop_small, name="drop_small")
+        enclave.install_rule("*", "drop_small")
+        result = enclave.process_packet(FakePacket(size=50))
+        assert result.drop
+        assert enclave.packets_dropped == 1
+
+    def test_message_state_accumulates_via_flow_fallback(self, enclave):
+        # No stage classifications: the enclave's own five-tuple
+        # classification gives message identity (Table 2, last row).
+        enclave.install_function(count_message_bytes,
+                                 message_schema=MSG_SCHEMA)
+        enclave.install_rule("*", "count_message_bytes")
+        for _ in range(3):
+            enclave.process_packet(FakePacket(size=100))
+        store = enclave.function("count_message_bytes").message_store
+        assert len(store) == 1
+        ((key, entry),) = store._entries.items()
+        assert entry.values["total"] == 300
+
+    def test_distinct_flows_distinct_messages(self, enclave):
+        enclave.install_function(count_message_bytes,
+                                 message_schema=MSG_SCHEMA)
+        enclave.install_rule("*", "count_message_bytes")
+        enclave.process_packet(FakePacket(src_port=1))
+        enclave.process_packet(FakePacket(src_port=2))
+        store = enclave.function("count_message_bytes").message_store
+        assert len(store) == 2
+
+    def test_stage_classification_selects_rule(self, enclave):
+        enclave.install_function(set_priority_five)
+        enclave.install_rule("memcached.r1.GET", "set_priority_five")
+        packet = FakePacket()
+        miss = enclave.process_packet(
+            packet, [Classification("memcached.r1.PUT",
+                                    {"msg_id": ("m", 1)})])
+        assert miss.executed == []
+        hit = enclave.process_packet(
+            packet, [Classification("memcached.r1.GET",
+                                    {"msg_id": ("m", 2)})])
+        assert hit.executed == ["set_priority_five"]
+
+    def test_metadata_seeds_message_state(self, enclave):
+        enclave.install_function(count_message_bytes,
+                                 message_schema=MSG_SCHEMA)
+        enclave.install_rule("*", "count_message_bytes")
+        cls = [Classification("app.r1.msg",
+                              {"msg_id": ("app", 7), "total": 1000})]
+        enclave.process_packet(FakePacket(size=10), cls)
+        store = enclave.function("count_message_bytes").message_store
+        entry, _ = store.lookup(("app", 7), 0)
+        assert entry.values["total"] == 1010
+
+    def test_global_state_updates(self, enclave):
+        enclave.install_function(bump_counter,
+                                 global_schema=COUNTER_SCHEMA)
+        enclave.install_rule("*", "bump_counter")
+        for _ in range(5):
+            enclave.process_packet(FakePacket())
+        assert enclave.query_global("bump_counter")["counter"] == 5
+
+    def test_global_threshold_readonly(self, enclave):
+        enclave.install_function(use_threshold,
+                                 global_schema=GLB_SCHEMA)
+        enclave.install_rule("*", "use_threshold")
+        enclave.set_global("use_threshold", "threshold", 100)
+        small, big = FakePacket(size=50), FakePacket(size=5000)
+        enclave.process_packet(small)
+        enclave.process_packet(big)
+        assert small.priority == 6 and big.priority == 1
+
+    def test_fault_forwards_unmodified(self, enclave):
+        # Section 3.4.3: a faulty function terminates its own
+        # execution without affecting the rest of the system.
+        enclave.install_function(faulty_divide, name="faulty")
+        enclave.install_rule("*", "faulty")
+        packet = FakePacket(size=54)  # divides by zero
+        result = enclave.process_packet(packet)
+        assert result.faults == 1
+        assert result.executed == []
+        assert packet.priority == 0
+        assert enclave.function("faulty").stats.faults == 1
+
+    def test_fault_then_success(self, enclave):
+        enclave.install_function(faulty_divide, name="faulty")
+        enclave.install_rule("*", "faulty")
+        enclave.process_packet(FakePacket(size=54))
+        ok = FakePacket(size=154)
+        enclave.process_packet(ok)
+        assert ok.priority == 1  # 100 // 100
+
+    def test_end_message_clears_state(self, enclave):
+        enclave.install_function(count_message_bytes,
+                                 message_schema=MSG_SCHEMA)
+        enclave.install_rule("*", "count_message_bytes")
+        packet = FakePacket()
+        enclave.process_packet(packet)
+        store = enclave.function("count_message_bytes").message_store
+        key = ("enclave", packet.five_tuple) if hasattr(
+            packet, "five_tuple") else None
+        # use the enclave's own flow key format
+        flow_key = ("enclave", (packet.src_ip, packet.src_port,
+                                packet.dst_ip, packet.dst_port,
+                                packet.proto))
+        enclave.end_message("count_message_bytes", flow_key)
+        assert len(store) == 0
+
+    def test_expire_idle_messages(self, enclave):
+        enclave.install_function(count_message_bytes,
+                                 message_schema=MSG_SCHEMA)
+        enclave.install_rule("*", "count_message_bytes")
+        enclave.process_packet(FakePacket(), now_ns=0)
+        dropped = enclave.expire_idle_messages(
+            now_ns=100_000_000_000)
+        assert dropped == 1
+
+    def test_native_backend_equivalent(self):
+        results = {}
+        for backend in ("interpreter", "native"):
+            enclave = Enclave(f"e.{backend}")
+            enclave.install_function(use_threshold,
+                                     global_schema=GLB_SCHEMA,
+                                     backend=backend)
+            enclave.install_rule("*", "use_threshold")
+            packet = FakePacket(size=5000)
+            enclave.process_packet(packet)
+            results[backend] = packet.priority
+        assert results["interpreter"] == results["native"] == 1
+
+    def test_interpreter_ops_reported(self, enclave):
+        enclave.install_function(set_priority_five)
+        enclave.install_rule("*", "set_priority_five")
+        result = enclave.process_packet(FakePacket())
+        assert result.interpreter_ops > 0
+
+
+class TestConcurrencyGuard:
+    def test_parallel_allows_overlap(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PARALLEL)
+        guard.acquire("m1")
+        guard.acquire("m1")
+        guard.release("m1")
+        guard.release("m1")
+
+    def test_per_message_blocks_same_message(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PER_MESSAGE)
+        guard.acquire("m1")
+        with pytest.raises(ConcurrencyViolation):
+            guard.acquire("m1")
+        guard.release("m1")
+        guard.acquire("m1")  # fine after release
+
+    def test_per_message_allows_different_messages(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PER_MESSAGE)
+        guard.acquire("m1")
+        guard.acquire("m2")
+
+    def test_serial_blocks_everything(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.SERIAL)
+        guard.acquire("m1")
+        with pytest.raises(ConcurrencyViolation):
+            guard.acquire("m2")
+
+
+class TestPlacement:
+    def test_nic_cheaper_than_os(self):
+        nic = Enclave("nic", placement=PLACEMENT_NIC)
+        os_ = Enclave("os", placement=PLACEMENT_OS)
+        assert nic.per_packet_base_cost_ns < \
+            os_.per_packet_base_cost_ns
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(EnclaveError):
+            Enclave("x", placement="fpga")
+
+
+class TestEnclaveFlowStage:
+    """The enclave's own header classification (Table 2, last row)."""
+
+    def test_flow_rule_classifies_and_matches(self, enclave):
+        from repro.core import Classifier
+        enclave.install_function(set_priority_five)
+        enclave.install_flow_rule("r1", Classifier.of(dst_port=80),
+                                  "web")
+        enclave.install_rule("enclave.r1.web", "set_priority_five")
+        web = FakePacket()           # dst_port 80
+        other = FakePacket()
+        other.dst_port = 443
+        assert enclave.process_packet(web).executed == \
+            ["set_priority_five"]
+        assert enclave.process_packet(other).executed == []
+
+    def test_flow_rule_message_identity_is_five_tuple(self, enclave):
+        from repro.core import Classifier
+        enclave.install_function(count_message_bytes,
+                                 message_schema=MSG_SCHEMA)
+        enclave.install_flow_rule("r1", Classifier.of(), "any")
+        enclave.install_rule("enclave.r1.any", "count_message_bytes")
+        for _ in range(3):
+            enclave.process_packet(FakePacket(size=50))
+        store = enclave.function("count_message_bytes").message_store
+        assert len(store) == 1  # same flow -> same message
+        ((key, entry),) = store._entries.items()
+        assert entry.values["total"] == 150
+        assert key[0] == "enclave"
+
+    def test_without_flow_rules_nothing_changes(self, enclave):
+        enclave.install_function(set_priority_five)
+        enclave.install_rule("enclave.flows.default",
+                             "set_priority_five")
+        packet = FakePacket()
+        assert enclave.process_packet(packet).executed == \
+            ["set_priority_five"]

@@ -1,0 +1,103 @@
+"""Property-based tests for stage classification invariants."""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Classifier, Stage, WILDCARD
+
+field_names = st.sampled_from(["msg_type", "key"])
+values = st.sampled_from(["GET", "PUT", "a", "b", "c", WILDCARD])
+
+
+def rule_strategy():
+    return st.fixed_dictionaries({
+        "rule_set": st.sampled_from(["r1", "r2", "r3"]),
+        "matches": st.dictionaries(field_names, values, max_size=2),
+        "class_name": st.text(alphabet=string.ascii_uppercase,
+                              min_size=1, max_size=6),
+    })
+
+
+attrs_strategy = st.fixed_dictionaries({
+    "msg_type": st.sampled_from(["GET", "PUT", "DELETE"]),
+    "key": st.sampled_from(["a", "b", "z"]),
+})
+
+
+class TestClassificationInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(rules=st.lists(rule_strategy(), max_size=10),
+           attrs=attrs_strategy)
+    def test_at_most_one_class_per_rule_set(self, rules, attrs):
+        stage = Stage("s", ("msg_type", "key"),
+                      ("msg_id", "msg_type", "key"))
+        for rule in rules:
+            stage.create_stage_rule(
+                rule["rule_set"], Classifier.of(**rule["matches"]),
+                rule["class_name"], ["msg_id"])
+        results = stage.classify(attrs)
+        rule_sets = [c.class_name.split(".")[1] for c in results]
+        assert len(rule_sets) == len(set(rule_sets))
+
+    @settings(max_examples=100, deadline=None)
+    @given(rules=st.lists(rule_strategy(), max_size=10),
+           attrs=attrs_strategy)
+    def test_class_names_fully_qualified(self, rules, attrs):
+        stage = Stage("mystage", ("msg_type", "key"), ("msg_id",))
+        for rule in rules:
+            stage.create_stage_rule(
+                rule["rule_set"], Classifier.of(**rule["matches"]),
+                rule["class_name"], ["msg_id"])
+        for cls in stage.classify(attrs):
+            parts = cls.class_name.split(".")
+            assert parts[0] == "mystage"
+            assert len(parts) == 3
+
+    @settings(max_examples=100, deadline=None)
+    @given(rules=st.lists(rule_strategy(), max_size=10),
+           attrs=attrs_strategy)
+    def test_matched_rule_actually_covers(self, rules, attrs):
+        stage = Stage("s", ("msg_type", "key"), ("msg_id",))
+        by_name = {}
+        for rule in rules:
+            stage.create_stage_rule(
+                rule["rule_set"], Classifier.of(**rule["matches"]),
+                rule["class_name"], ["msg_id"])
+            by_name.setdefault(
+                f"s.{rule['rule_set']}.{rule['class_name']}",
+                []).append(rule["matches"])
+        for cls in stage.classify(attrs):
+            candidates = by_name[cls.class_name]
+            assert any(
+                all(v == WILDCARD or attrs.get(k) == v
+                    for k, v in matches.items())
+                for matches in candidates)
+
+    @settings(max_examples=60, deadline=None)
+    @given(attrs=attrs_strategy)
+    def test_most_specific_rule_wins(self, attrs):
+        stage = Stage("s", ("msg_type", "key"), ("msg_id",))
+        stage.create_stage_rule("r", Classifier.of(), "CATCHALL",
+                                ["msg_id"])
+        stage.create_stage_rule(
+            "r", Classifier.of(msg_type=attrs["msg_type"],
+                               key=attrs["key"]),
+            "EXACT", ["msg_id"])
+        results = stage.classify(attrs)
+        assert results[0].class_name == "s.r.EXACT"
+
+    @settings(max_examples=60, deadline=None)
+    @given(rules=st.lists(rule_strategy(), min_size=1, max_size=8),
+           attrs=attrs_strategy)
+    def test_removing_all_rules_silences_stage(self, rules, attrs):
+        stage = Stage("s", ("msg_type", "key"), ("msg_id",))
+        ids = []
+        for rule in rules:
+            ids.append((rule["rule_set"], stage.create_stage_rule(
+                rule["rule_set"], Classifier.of(**rule["matches"]),
+                rule["class_name"], ["msg_id"])))
+        for rule_set, rule_id in ids:
+            stage.remove_stage_rule(rule_set, rule_id)
+        assert stage.classify(attrs) == []

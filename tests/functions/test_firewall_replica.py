@@ -1,0 +1,250 @@
+"""Tests for firewall/port-knocking and replica-selection functions."""
+
+import pytest
+
+from repro.core import Controller, Enclave
+from repro.core.stage import Classification
+from repro.functions.firewall import (FIREWALL_GLOBAL_SCHEMA,
+                                      FirewallDeployment,
+                                      PORT_KNOCK_GLOBAL_SCHEMA,
+                                      PortKnockDeployment,
+                                      port_knock_action,
+                                      stateful_firewall_action)
+from repro.functions.replica import (MCROUTER_GLOBAL_SCHEMA,
+                                     MCROUTER_MESSAGE_SCHEMA,
+                                     NAT_GLOBAL_SCHEMA,
+                                     SINBAD_GLOBAL_SCHEMA,
+                                     ananta_nat_action,
+                                     mcrouter_select_action,
+                                     sinbad_select_action)
+
+
+class Pkt:
+    def __init__(self, src_ip=1, dst_ip=2, src_port=1000,
+                 dst_port=80):
+        self.src_ip, self.dst_ip = src_ip, dst_ip
+        self.src_port, self.dst_port = src_port, dst_port
+        self.proto = 6
+        self.size = 100
+        self.priority = self.path_id = self.drop = 0
+        self.to_controller = self.queue_id = self.charge = 0
+        self.ecn = self.tenant = 0
+
+
+def knock_enclave():
+    enclave = Enclave("e")
+    enclave.install_function(port_knock_action, name="knock",
+                             global_schema=PORT_KNOCK_GLOBAL_SCHEMA)
+    enclave.set_global_array("knock", "knock_state", [0] * 64)
+    for i, port in enumerate((7001, 7002, 7003), start=1):
+        enclave.set_global("knock", f"knock{i}", port)
+    enclave.set_global("knock", "open_port", 22)
+    enclave.install_rule("*", "knock")
+    return enclave
+
+
+def knock(enclave, src_ip, dst_port):
+    p = Pkt(src_ip=src_ip, dst_port=dst_port)
+    enclave.process_packet(p)
+    return p
+
+
+class TestPortKnocking:
+    def test_correct_sequence_opens(self):
+        enclave = knock_enclave()
+        for port in (7001, 7002, 7003):
+            assert knock(enclave, 5, port).drop == 0
+        assert knock(enclave, 5, 22).drop == 0
+
+    def test_closed_without_knocking(self):
+        enclave = knock_enclave()
+        assert knock(enclave, 5, 22).drop == 1
+
+    def test_wrong_order_resets(self):
+        enclave = knock_enclave()
+        knock(enclave, 5, 7001)
+        knock(enclave, 5, 7003)  # skipped 7002 -> reset
+        knock(enclave, 5, 7003)
+        assert knock(enclave, 5, 22).drop == 1
+
+    def test_stray_port_resets(self):
+        enclave = knock_enclave()
+        knock(enclave, 5, 7001)
+        knock(enclave, 5, 7002)
+        knock(enclave, 5, 9999)
+        assert knock(enclave, 5, 22).drop == 1
+
+    def test_state_is_per_source(self):
+        enclave = knock_enclave()
+        for port in (7001, 7002, 7003):
+            knock(enclave, 5, port)
+        assert knock(enclave, 5, 22).drop == 0
+        assert knock(enclave, 6, 22).drop == 1
+
+    def test_open_stays_open(self):
+        enclave = knock_enclave()
+        for port in (7001, 7002, 7003):
+            knock(enclave, 5, port)
+        knock(enclave, 5, 12345)  # unrelated traffic after opening
+        assert knock(enclave, 5, 22).drop == 0
+
+    def test_deployment(self):
+        controller = Controller()
+        enclave = Enclave("h1.enclave")
+        controller.register_enclave("h1", enclave)
+        PortKnockDeployment(controller).install(
+            "h1", [7001, 7002, 7003], open_port=22)
+        assert knock(enclave, 9, 22).drop == 1
+
+    def test_deployment_needs_three_knocks(self):
+        controller = Controller()
+        controller.register_enclave("h1", Enclave("e"))
+        with pytest.raises(ValueError):
+            PortKnockDeployment(controller).install("h1", [1, 2], 22)
+
+
+class TestStatefulFirewall:
+    def fw_enclave(self, my_ip=1, allow_port=-1):
+        enclave = Enclave("e")
+        enclave.install_function(
+            stateful_firewall_action, name="fw",
+            global_schema=FIREWALL_GLOBAL_SCHEMA)
+        enclave.set_global_array("fw", "flow_seen", [0] * 256)
+        enclave.set_global("fw", "my_ip", my_ip)
+        enclave.set_global("fw", "allow_port", allow_port)
+        enclave.install_rule("*", "fw")
+        return enclave
+
+    def test_unsolicited_inbound_dropped(self):
+        enclave = self.fw_enclave()
+        inbound = Pkt(src_ip=9, dst_ip=1, src_port=80,
+                      dst_port=5000)
+        enclave.process_packet(inbound)
+        assert inbound.drop == 1
+
+    def test_reply_to_outbound_allowed(self):
+        enclave = self.fw_enclave()
+        outbound = Pkt(src_ip=1, dst_ip=9, src_port=5000,
+                       dst_port=80)
+        enclave.process_packet(outbound)
+        reply = Pkt(src_ip=9, dst_ip=1, src_port=80, dst_port=5000)
+        enclave.process_packet(reply)
+        assert reply.drop == 0
+
+    def test_whitelisted_port_always_open(self):
+        enclave = self.fw_enclave(allow_port=443)
+        inbound = Pkt(src_ip=9, dst_ip=1, dst_port=443)
+        enclave.process_packet(inbound)
+        assert inbound.drop == 0
+
+    def test_deployment_end_to_end(self):
+        controller = Controller()
+        enclave = Enclave("h1.enclave")
+        controller.register_enclave("h1", enclave)
+        FirewallDeployment(controller).install("h1", host_ip=1)
+        inbound = Pkt(src_ip=7, dst_ip=1)
+        enclave.process_packet(inbound)
+        assert inbound.drop == 1
+
+    def test_firewall_serializes(self):
+        from repro.core import ConcurrencyLevel
+        enclave = self.fw_enclave()
+        assert enclave.function("fw").concurrency is \
+            ConcurrencyLevel.SERIAL
+
+
+class TestAnantaNat:
+    def nat_enclave(self, seed=0):
+        import random
+        enclave = Enclave("e", rng=random.Random(seed))
+        enclave.install_function(ananta_nat_action, name="nat",
+                                 global_schema=NAT_GLOBAL_SCHEMA)
+        enclave.set_global("nat", "vip", 99)
+        enclave.set_global_array("nat", "replicas", [201, 202, 203])
+        enclave.set_global_array("nat", "nat_state", [0] * 256)
+        enclave.install_rule("*", "nat")
+        return enclave
+
+    def test_vip_rewritten_to_replica(self):
+        enclave = self.nat_enclave()
+        p = Pkt(dst_ip=99)
+        enclave.process_packet(p)
+        assert p.dst_ip in (201, 202, 203)
+
+    def test_flow_sticks_to_one_replica(self):
+        enclave = self.nat_enclave()
+        chosen = set()
+        for _ in range(10):
+            p = Pkt(dst_ip=99, src_port=4242)
+            enclave.process_packet(p)
+            chosen.add(p.dst_ip)
+        assert len(chosen) == 1
+
+    def test_reverse_path_rewritten_to_vip(self):
+        enclave = self.nat_enclave()
+        fwd = Pkt(dst_ip=99, src_ip=1, src_port=4242, dst_port=80)
+        enclave.process_packet(fwd)
+        replica = fwd.dst_ip
+        back = Pkt(src_ip=replica, dst_ip=1, src_port=80,
+                   dst_port=4242)
+        enclave.process_packet(back)
+        assert back.src_ip == 99
+
+    def test_non_vip_traffic_untouched(self):
+        enclave = self.nat_enclave()
+        p = Pkt(dst_ip=42)
+        enclave.process_packet(p)
+        assert p.dst_ip == 42
+
+    def test_flows_spread_over_replicas(self):
+        enclave = self.nat_enclave(seed=11)
+        chosen = set()
+        for sport in range(60):
+            p = Pkt(dst_ip=99, src_port=sport)
+            enclave.process_packet(p)
+            chosen.add(p.dst_ip)
+        assert len(chosen) >= 2
+
+
+class TestReplicaSelection:
+    def test_mcrouter_same_key_same_replica(self):
+        enclave = Enclave("e")
+        enclave.install_function(
+            mcrouter_select_action, name="mc",
+            message_schema=MCROUTER_MESSAGE_SCHEMA,
+            global_schema=MCROUTER_GLOBAL_SCHEMA)
+        enclave.set_global_array("mc", "replicas", [301, 302, 303])
+        enclave.install_rule("*", "mc")
+
+        def route(key_hash, msg):
+            p = Pkt()
+            cls = [Classification("app.r1.m",
+                                  {"msg_id": ("a", msg),
+                                   "key_hash": key_hash})]
+            enclave.process_packet(p, cls)
+            return p.dst_ip
+
+        assert route(14, 1) == route(14, 2) == 303  # 14 % 3 == 2
+        assert route(15, 3) == 301
+
+    def test_sinbad_picks_least_loaded(self):
+        enclave = Enclave("e")
+        enclave.install_function(
+            sinbad_select_action, name="sb",
+            message_schema=MCROUTER_MESSAGE_SCHEMA,
+            global_schema=SINBAD_GLOBAL_SCHEMA)
+        enclave.set_global_array("sb", "replicas", [401, 402, 403])
+        enclave.set_global_array("sb", "replica_load", [30, 80, 10])
+        enclave.install_rule("*", "sb")
+        p = Pkt()
+        enclave.process_packet(
+            p, [Classification("a.r1.m", {"msg_id": ("a", 1),
+                                          "key_hash": 0})])
+        assert p.dst_ip == 403
+        # Controller refreshes loads; selection follows.
+        enclave.set_global_array("sb", "replica_load", [5, 80, 10])
+        q = Pkt()
+        enclave.process_packet(
+            q, [Classification("a.r1.m", {"msg_id": ("a", 2),
+                                          "key_hash": 0})])
+        assert q.dst_ip == 401

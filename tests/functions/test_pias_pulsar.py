@@ -1,0 +1,210 @@
+"""Tests for the PIAS/SFF and Pulsar action functions."""
+
+import pytest
+
+from repro.core import Controller, Enclave
+from repro.core.stage import Classification
+from repro.functions.pias import (FlowSchedulingDeployment,
+                                  PIAS_GLOBAL_SCHEMA,
+                                  PIAS_MESSAGE_SCHEMA,
+                                  SFF_GLOBAL_SCHEMA,
+                                  SFF_MESSAGE_SCHEMA, pias_action,
+                                  sff_action)
+from repro.functions.pulsar import (PULSAR_GLOBAL_SCHEMA,
+                                    PULSAR_MESSAGE_SCHEMA,
+                                    PulsarDeployment, pulsar_action)
+from repro.netsim import GBPS, Simulator, star
+from repro.stack import HostStack
+
+THRESHOLDS = [(10_000, 7), (1_000_000, 6), (1 << 50, 5)]
+
+
+class Pkt:
+    def __init__(self, size=1514, tenant=0):
+        self.src_ip, self.dst_ip = 1, 2
+        self.src_port, self.dst_port = 1000, 80
+        self.proto = 6
+        self.size = size
+        self.tenant = tenant
+        self.priority = self.path_id = self.drop = 0
+        self.to_controller = self.queue_id = self.charge = 0
+        self.ecn = 0
+
+
+def pias_enclave():
+    enclave = Enclave("e")
+    enclave.install_function(pias_action, name="pias",
+                             message_schema=PIAS_MESSAGE_SCHEMA,
+                             global_schema=PIAS_GLOBAL_SCHEMA)
+    enclave.set_global_records("pias", "priorities", THRESHOLDS)
+    enclave.install_rule("*", "pias")
+    return enclave
+
+
+def cls_for(msg, **metadata):
+    metadata.setdefault("msg_id", ("app", msg))
+    return [Classification("app.r1.msg", metadata)]
+
+
+class TestPias:
+    def test_starts_at_highest_priority(self):
+        enclave = pias_enclave()
+        p = Pkt(size=1000)
+        enclave.process_packet(p, cls_for(1))
+        assert p.priority == 7
+
+    def test_demotes_across_thresholds(self):
+        enclave = pias_enclave()
+        seen = []
+        for i in range(800):
+            p = Pkt(size=1514)
+            enclave.process_packet(p, cls_for(2))
+            seen.append(p.priority)
+        assert seen[0] == 7
+        assert 6 in seen and seen[-1] == 5
+        # Demotion is monotone.
+        assert all(a >= b for a, b in zip(seen, seen[1:]))
+
+    def test_respects_requested_low_priority(self):
+        # "Background flows can specify a low priority class."
+        enclave = pias_enclave()
+        p = Pkt()
+        enclave.process_packet(p, cls_for(3, priority=0))
+        assert p.priority == 0
+
+    def test_message_sizes_tracked_separately(self):
+        enclave = pias_enclave()
+        for _ in range(10):
+            enclave.process_packet(Pkt(), cls_for(10))
+        fresh = Pkt()
+        enclave.process_packet(fresh, cls_for(11))
+        assert fresh.priority == 7
+
+    def test_message_size_committed(self):
+        enclave = pias_enclave()
+        for _ in range(3):
+            enclave.process_packet(Pkt(size=100), cls_for(20))
+        store = enclave.function("pias").message_store
+        entry, _ = store.lookup(("app", 20), 0)
+        assert entry.values["size"] == 300
+
+
+class TestSff:
+    def sff_enclave(self):
+        enclave = Enclave("e")
+        enclave.install_function(sff_action, name="sff",
+                                 message_schema=SFF_MESSAGE_SCHEMA,
+                                 global_schema=SFF_GLOBAL_SCHEMA)
+        enclave.set_global_records("sff", "priorities", THRESHOLDS)
+        enclave.install_rule("*", "sff")
+        return enclave
+
+    def test_priority_from_declared_size(self):
+        enclave = self.sff_enclave()
+        cases = [(5_000, 7), (500_000, 6), (50_000_000, 5)]
+        for i, (declared, expected) in enumerate(cases):
+            p = Pkt()
+            enclave.process_packet(p, cls_for(i, msg_size=declared))
+            assert p.priority == expected, declared
+
+    def test_priority_stable_over_message_life(self):
+        enclave = self.sff_enclave()
+        prios = []
+        for _ in range(500):
+            p = Pkt()
+            enclave.process_packet(p, cls_for(9, msg_size=5_000))
+            prios.append(p.priority)
+        assert set(prios) == {7}  # never demoted
+
+    def test_undeclared_size_gets_top_priority(self):
+        enclave = self.sff_enclave()
+        p = Pkt()
+        enclave.process_packet(p, cls_for(5))
+        assert p.priority == 7  # size defaults to 0 -> smallest band
+
+
+class TestFlowSchedulingDeployment:
+    def test_install_pias(self):
+        sim = Simulator()
+        net = star(sim, 2)
+        controller = Controller()
+        enclave = Enclave("h1.enclave", rng=sim.rng, clock=sim.clock)
+        controller.register_enclave("h1", enclave)
+        HostStack(sim, net.hosts["h1"], enclave=enclave)
+        FlowSchedulingDeployment(controller, "pias").install(
+            ["h1"], THRESHOLDS)
+        assert "pias" in enclave.functions()
+        snap = enclave.query_global("pias")
+        assert snap["priorities"][:2] == [10_000, 7]
+
+    def test_threshold_update(self):
+        controller = Controller()
+        enclave = Enclave("h1.enclave")
+        controller.register_enclave("h1", enclave)
+        dep = FlowSchedulingDeployment(controller, "pias")
+        dep.install(["h1"], THRESHOLDS)
+        dep.update_thresholds(["h1"], [(500, 7), (1 << 50, 6)])
+        snap = enclave.query_global("pias")
+        assert snap["priorities"] == [500, 7, 1 << 50, 6]
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSchedulingDeployment(Controller(), "lifo")
+
+
+class TestPulsar:
+    def pulsar_enclave(self):
+        enclave = Enclave("e")
+        enclave.install_function(pulsar_action, name="pulsar",
+                                 message_schema=PULSAR_MESSAGE_SCHEMA,
+                                 global_schema=PULSAR_GLOBAL_SCHEMA)
+        enclave.set_global_array("pulsar", "queue_map", [0, 5, 6])
+        enclave.install_rule("*", "pulsar")
+        return enclave
+
+    def test_read_charged_by_operation_size(self):
+        enclave = self.pulsar_enclave()
+        p = Pkt(size=310, tenant=1)
+        enclave.process_packet(
+            p, cls_for(1, op_read=1, msg_size=65536))
+        assert p.charge == 65536
+        assert p.queue_id == 5
+
+    def test_write_charged_by_packet_size(self):
+        enclave = self.pulsar_enclave()
+        p = Pkt(size=1514, tenant=2)
+        enclave.process_packet(
+            p, cls_for(2, op_read=0, msg_size=65536))
+        assert p.charge == 1514
+        assert p.queue_id == 6
+
+    def test_unknown_tenant_not_queued(self):
+        enclave = self.pulsar_enclave()
+        p = Pkt(tenant=50)
+        enclave.process_packet(p, cls_for(3))
+        assert p.queue_id == 0
+
+    def test_tenant_aggregation(self):
+        # Two messages of the same tenant share the queue (aggregate
+        # tenant-level guarantees, Section 2.1.2).
+        enclave = self.pulsar_enclave()
+        a, b = Pkt(tenant=1), Pkt(tenant=1)
+        enclave.process_packet(a, cls_for(10))
+        enclave.process_packet(b, cls_for(11))
+        assert a.queue_id == b.queue_id == 5
+
+    def test_deployment_configures_stack_queues(self):
+        sim = Simulator()
+        net = star(sim, 2)
+        controller = Controller()
+        enclave = Enclave("h1.enclave", rng=sim.rng, clock=sim.clock)
+        controller.register_enclave("h1", enclave)
+        stack = HostStack(sim, net.hosts["h1"], enclave=enclave)
+        dep = PulsarDeployment(controller)
+        qmap = dep.install("h1", stack, {1: 500_000_000,
+                                         2: 300_000_000})
+        assert qmap == {1: 1, 2: 2}
+        assert stack.rate_limiters.queue(1).rate_bps == 500_000_000
+        assert stack.rate_limiters.queue(2).rate_bps == 300_000_000
+        snap = enclave.query_global("pulsar")
+        assert snap["queue_map"] == [0, 1, 2]

@@ -1,0 +1,118 @@
+"""Tests for the QJump / network-QoS / centralized-CC functions."""
+
+import pytest
+
+from repro.core import Controller, Enclave
+from repro.core.stage import Classification
+from repro.functions.qos import (CENTRALIZED_CC_MESSAGE_SCHEMA,
+                                 NETWORK_QOS_GLOBAL_SCHEMA,
+                                 QJUMP_GLOBAL_SCHEMA,
+                                 QJUMP_MESSAGE_SCHEMA,
+                                 QjumpDeployment,
+                                 centralized_cc_action,
+                                 network_qos_action, qjump_action)
+from repro.netsim import Simulator, star
+from repro.stack import HostStack
+
+
+class Pkt:
+    def __init__(self, tenant=0, size=1514):
+        self.src_ip, self.dst_ip = 1, 2
+        self.src_port, self.dst_port, self.proto = 1000, 80, 6
+        self.size = size
+        self.tenant = tenant
+        self.priority = self.path_id = self.drop = 0
+        self.to_controller = self.queue_id = self.charge = 0
+        self.ecn = 0
+
+
+def cls_for(msg, **metadata):
+    metadata.setdefault("msg_id", ("app", msg))
+    return [Classification("app.r1.msg", metadata)]
+
+
+class TestQjump:
+    def make(self):
+        enclave = Enclave("e")
+        enclave.install_function(qjump_action, name="qjump",
+                                 message_schema=QJUMP_MESSAGE_SCHEMA,
+                                 global_schema=QJUMP_GLOBAL_SCHEMA)
+        enclave.set_global_array("qjump", "level_priority",
+                                 [0, 4, 7])
+        enclave.set_global_array("qjump", "level_queue", [0, 3, 0])
+        enclave.install_rule("*", "qjump")
+        return enclave
+
+    def test_levels_map_to_priority_and_queue(self):
+        enclave = self.make()
+        for level, (prio, queue) in enumerate(((0, 0), (4, 3),
+                                               (7, 0))):
+            p = Pkt()
+            enclave.process_packet(p, cls_for(level, level=level))
+            assert (p.priority, p.queue_id) == (prio, queue), level
+
+    def test_out_of_range_level_clamped(self):
+        enclave = self.make()
+        high, low = Pkt(), Pkt()
+        enclave.process_packet(high, cls_for(10, level=99))
+        enclave.process_packet(low, cls_for(11, level=-5))
+        assert high.priority == 7   # clamped to the top level
+        assert low.priority == 0    # clamped to level 0
+
+    def test_deployment_configures_rate_limited_levels(self):
+        sim = Simulator()
+        net = star(sim, 2)
+        controller = Controller()
+        enclave = Enclave("h1.enclave", rng=sim.rng,
+                          clock=sim.clock)
+        controller.register_enclave("h1", enclave)
+        stack = HostStack(sim, net.hosts["h1"], enclave=enclave)
+        QjumpDeployment(controller).install(
+            "h1", stack,
+            [{"priority": 0},
+             {"priority": 4, "rate_bps": 100_000_000},
+             {"priority": 7, "rate_bps": 5_000_000}])
+        snap = enclave.query_global("qjump")
+        assert snap["level_priority"] == [0, 4, 7]
+        queues = snap["level_queue"]
+        assert queues[0] == 0 and queues[1] != 0 and queues[2] != 0
+        assert stack.rate_limiters.queue(queues[1]).rate_bps == \
+            100_000_000
+        assert stack.rate_limiters.queue(queues[2]).rate_bps == \
+            5_000_000
+
+
+class TestNetworkQos:
+    def test_tenant_steering_and_byte_charging(self):
+        enclave = Enclave("e")
+        enclave.install_function(
+            network_qos_action, name="nq",
+            global_schema=NETWORK_QOS_GLOBAL_SCHEMA)
+        enclave.set_global_array("nq", "queue_map", [0, 4])
+        enclave.install_rule("*", "nq")
+        p = Pkt(tenant=1, size=999)
+        enclave.process_packet(p)
+        assert p.queue_id == 4
+        assert p.charge == 999  # network bytes, not op size
+
+
+class TestCentralizedCc:
+    def test_flow_paced_at_allocated_queue(self):
+        enclave = Enclave("e")
+        enclave.install_function(
+            centralized_cc_action, name="cc",
+            message_schema=CENTRALIZED_CC_MESSAGE_SCHEMA)
+        enclave.install_rule("*", "cc")
+        p = Pkt()
+        enclave.process_packet(p, cls_for(1, paced_queue=12))
+        assert p.queue_id == 12
+
+    def test_unallocated_flow_unpaced(self):
+        enclave = Enclave("e")
+        enclave.install_function(
+            centralized_cc_action, name="cc",
+            message_schema=CENTRALIZED_CC_MESSAGE_SCHEMA)
+        enclave.install_rule("*", "cc")
+        p = Pkt()
+        enclave.process_packet(p, cls_for(2))
+        assert p.queue_id == 0

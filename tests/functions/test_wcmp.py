@@ -1,0 +1,165 @@
+"""Tests for ECMP/WCMP/messageWCMP (paper Figure 2)."""
+
+import pytest
+
+from repro.core import Controller, Enclave
+from repro.core.stage import Classification
+from repro.functions.wcmp import (WCMP_GLOBAL_SCHEMA,
+                                  WCMP_MESSAGE_SCHEMA, WcmpDeployment,
+                                  message_wcmp_action, wcmp_action)
+from repro.netsim import Simulator, asymmetric_two_path
+from repro.stack import HostStack
+
+
+class Pkt:
+    def __init__(self, src_ip=1, dst_ip=2, src_port=1000,
+                 dst_port=80):
+        self.src_ip, self.dst_ip = src_ip, dst_ip
+        self.src_port, self.dst_port = src_port, dst_port
+        self.proto = 6
+        self.size = 1500
+        self.priority = self.path_id = self.drop = 0
+        self.to_controller = self.queue_id = self.charge = 0
+        self.ecn = self.tenant = 0
+
+
+def make_enclave(action, name, message_schema=None, seed=0):
+    import random
+    enclave = Enclave("e", rng=random.Random(seed))
+    enclave.install_function(action, name=name,
+                             message_schema=message_schema,
+                             global_schema=WCMP_GLOBAL_SCHEMA)
+    enclave.install_rule("*", name)
+    return enclave
+
+
+class TestWcmpAction:
+    def test_weighted_split(self):
+        enclave = make_enclave(wcmp_action, "wcmp")
+        enclave.set_global_keyed("wcmp", "paths", (1, 2),
+                                 [1, 900, 2, 100])
+        counts = {1: 0, 2: 0}
+        for i in range(1000):
+            p = Pkt(src_port=1000 + i)
+            enclave.process_packet(p)
+            counts[p.path_id] += 1
+        assert 850 < counts[1] < 950
+        assert counts[1] + counts[2] == 1000
+
+    def test_equal_weights_are_ecmp(self):
+        enclave = make_enclave(wcmp_action, "wcmp")
+        enclave.set_global_keyed("wcmp", "paths", (1, 2),
+                                 [1, 500, 2, 500])
+        counts = {1: 0, 2: 0}
+        for i in range(1000):
+            p = Pkt(src_port=i)
+            enclave.process_packet(p)
+            counts[p.path_id] += 1
+        assert 400 < counts[1] < 600
+
+    def test_unknown_pair_leaves_path_unset(self):
+        enclave = make_enclave(wcmp_action, "wcmp")
+        p = Pkt(src_ip=9, dst_ip=9)
+        enclave.process_packet(p)
+        assert p.path_id == 0
+
+    def test_zero_total_weight_leaves_path_unset(self):
+        enclave = make_enclave(wcmp_action, "wcmp")
+        enclave.set_global_keyed("wcmp", "paths", (1, 2),
+                                 [1, 0, 2, 0])
+        p = Pkt()
+        enclave.process_packet(p)
+        assert p.path_id == 0
+
+    def test_pathmatrix_keyed_per_pair(self):
+        enclave = make_enclave(wcmp_action, "wcmp")
+        enclave.set_global_keyed("wcmp", "paths", (1, 2), [1, 1000])
+        enclave.set_global_keyed("wcmp", "paths", (1, 3), [2, 1000])
+        a, b = Pkt(dst_ip=2), Pkt(dst_ip=3)
+        enclave.process_packet(a)
+        enclave.process_packet(b)
+        assert (a.path_id, b.path_id) == (1, 2)
+
+
+class TestMessageWcmpAction:
+    def test_message_sticks_to_one_path(self):
+        enclave = make_enclave(message_wcmp_action, "message_wcmp",
+                               message_schema=WCMP_MESSAGE_SCHEMA)
+        enclave.set_global_keyed("message_wcmp", "paths", (1, 2),
+                                 [1, 500, 2, 500])
+        cls = [Classification("app.r1.m", {"msg_id": ("app", 1)})]
+        paths = set()
+        for _ in range(20):
+            p = Pkt()
+            enclave.process_packet(p, cls)
+            paths.add(p.path_id)
+        assert len(paths) == 1 and paths.pop() in (1, 2)
+
+    def test_different_messages_can_differ(self):
+        enclave = make_enclave(message_wcmp_action, "message_wcmp",
+                               message_schema=WCMP_MESSAGE_SCHEMA,
+                               seed=3)
+        enclave.set_global_keyed("message_wcmp", "paths", (1, 2),
+                                 [1, 500, 2, 500])
+        paths = set()
+        for m in range(50):
+            cls = [Classification("app.r1.m",
+                                  {"msg_id": ("app", m)})]
+            p = Pkt()
+            enclave.process_packet(p, cls)
+            paths.add(p.path_id)
+        assert paths == {1, 2}
+
+    def test_weighted_across_messages(self):
+        enclave = make_enclave(message_wcmp_action, "message_wcmp",
+                               message_schema=WCMP_MESSAGE_SCHEMA)
+        enclave.set_global_keyed("message_wcmp", "paths", (1, 2),
+                                 [1, 900, 2, 100])
+        counts = {1: 0, 2: 0}
+        for m in range(500):
+            cls = [Classification("app.r1.m",
+                                  {"msg_id": ("app", m)})]
+            p = Pkt()
+            enclave.process_packet(p, cls)
+            counts[p.path_id] += 1
+        assert counts[1] > 5 * counts[2]
+
+
+class TestWcmpDeployment:
+    def test_provision_pair_installs_everything(self):
+        sim = Simulator(seed=1)
+        net = asymmetric_two_path(sim)
+        controller = Controller()
+        enclave = Enclave("h1.enclave", rng=sim.rng, clock=sim.clock)
+        controller.register_enclave("h1", enclave)
+        HostStack(sim, net.hosts["h1"], enclave=enclave)
+        deployment = WcmpDeployment(controller, net)
+        rows = deployment.provision_pair("h1", "h2")
+        assert len(rows) == 2
+        # Weights pushed: ~909/91 for 10G/1G.
+        snapshot = enclave.function("wcmp").global_store
+        flat = snapshot.keyed_array(
+            "paths", (net.host_ip("h1"), net.host_ip("h2")))
+        weights = {flat[i]: flat[i + 1]
+                   for i in range(0, len(flat), 2)}
+        assert weights[1] == 909 and weights[2] == 91
+        # Labels installed at switches.
+        assert net.switches["sfast"].label_table[1] == "h2"
+        assert net.switches["sslow"].label_table[2] == "h2"
+
+    def test_equal_weights_flag(self):
+        sim = Simulator(seed=1)
+        net = asymmetric_two_path(sim)
+        controller = Controller()
+        enclave = Enclave("h1.enclave", rng=sim.rng, clock=sim.clock)
+        controller.register_enclave("h1", enclave)
+        HostStack(sim, net.hosts["h1"], enclave=enclave)
+        deployment = WcmpDeployment(controller, net)
+        deployment.provision_pair("h1", "h2", equal_weights=True)
+        flat = enclave.function("wcmp").global_store.keyed_array(
+            "paths", (net.host_ip("h1"), net.host_ip("h2")))
+        assert flat[1] == flat[3] == 500
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            WcmpDeployment(Controller(), None, granularity="flowlet")

@@ -1,0 +1,110 @@
+"""Paper Table 2 end to end: all three stage kinds feed one policy.
+
+The memcached stage, the HTTP-library stage, and the enclave's own
+five-tuple classification each drive the same match-action pipeline —
+demonstrating §3.3's point that classes from different classification
+sources are uniform at the enclave.
+"""
+
+import pytest
+
+from repro.core import Classifier, Controller, Enclave
+from repro.core.stage import http_stage, memcached_stage
+from repro.lang import AccessLevel, Field, Lifetime, schema
+
+MSG_SCHEMA = schema("Msg", Lifetime.MESSAGE, [
+    Field("bytes", AccessLevel.READ_WRITE),
+])
+
+
+def mark_get(packet):
+    packet.priority = 6
+
+
+def mark_html(packet):
+    packet.priority = 4
+
+
+def mark_flow(packet):
+    packet.priority = 2
+
+
+class Pkt:
+    def __init__(self, dst_port=80):
+        self.src_ip, self.dst_ip = 1, 2
+        self.src_port, self.dst_port, self.proto = 999, dst_port, 6
+        self.size = 1000
+        self.priority = self.path_id = self.drop = 0
+        self.to_controller = self.queue_id = self.charge = 0
+        self.ecn = self.tenant = 0
+
+
+@pytest.fixture
+def world():
+    controller = Controller()
+    enclave = Enclave("h1.enclave")
+    controller.register_enclave("h1", enclave)
+    mc = memcached_stage()
+    web = http_stage()
+    controller.register_stage("h1", mc)
+    controller.register_stage("h1", web)
+
+    # Stage rules (Table 2 / Figure 6 style).
+    controller.create_stage_rule(
+        "h1", "memcached", "r1", Classifier.of(msg_type="GET"),
+        "GET", ["msg_id", "msg_size"])
+    controller.create_stage_rule(
+        "h1", "http", "r1", Classifier.of(url="/index.html"),
+        "HTML", ["msg_id", "url"])
+    enclave.install_flow_rule("r1", Classifier.of(dst_port=22),
+                              "ssh")
+
+    # One table, three sources of classes.
+    controller.install_function("h1", mark_get, name="mark_get")
+    controller.install_function("h1", mark_html, name="mark_html")
+    controller.install_function("h1", mark_flow, name="mark_flow")
+    controller.install_rule("h1", "memcached.r1.GET", "mark_get",
+                            priority=10)
+    controller.install_rule("h1", "http.r1.HTML", "mark_html",
+                            priority=10)
+    controller.install_rule("h1", "enclave.r1.ssh", "mark_flow",
+                            priority=10)
+    return controller, enclave, mc, web
+
+
+class TestTable2EndToEnd:
+    def test_memcached_class_selects_policy(self, world):
+        controller, enclave, mc, web = world
+        cls = mc.classify({"msg_type": "GET", "key": "a",
+                           "msg_size": 100})
+        packet = Pkt()
+        enclave.process_packet(packet, cls)
+        assert packet.priority == 6
+
+    def test_http_class_selects_policy(self, world):
+        controller, enclave, mc, web = world
+        cls = web.classify({"msg_type": "GET",
+                            "url": "/index.html"})
+        packet = Pkt()
+        enclave.process_packet(packet, cls)
+        assert packet.priority == 4
+
+    def test_enclave_flow_class_selects_policy(self, world):
+        controller, enclave, mc, web = world
+        packet = Pkt(dst_port=22)
+        enclave.process_packet(packet)   # no stage classification
+        assert packet.priority == 2
+
+    def test_unclassified_traffic_untouched(self, world):
+        controller, enclave, mc, web = world
+        packet = Pkt(dst_port=443)
+        result = enclave.process_packet(packet)
+        assert result.executed == []
+        assert packet.priority == 0
+
+    def test_put_misses_get_rule(self, world):
+        controller, enclave, mc, web = world
+        cls = mc.classify({"msg_type": "PUT", "key": "a"})
+        packet = Pkt()
+        enclave.process_packet(packet, cls)
+        assert packet.priority == 0

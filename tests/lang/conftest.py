@@ -1,0 +1,75 @@
+"""Shared helpers for the language-layer tests."""
+
+import random
+
+import pytest
+
+from repro.lang import (AccessLevel, DEFAULT_PACKET_SCHEMA, Field,
+                        FieldKind, Interpreter, Lifetime,
+                        NativeFunction, compile_action, schema,
+                        verify)
+
+MSG_SCHEMA = schema("M", Lifetime.MESSAGE, [
+    Field("counter", AccessLevel.READ_WRITE),
+    Field("limit", AccessLevel.READ_ONLY, default=5),
+])
+
+GLB_SCHEMA = schema("G", Lifetime.GLOBAL, [
+    Field("weights", AccessLevel.READ_ONLY, FieldKind.ARRAY),
+    Field("records", AccessLevel.READ_ONLY, FieldKind.RECORD_ARRAY,
+          record_fields=("lo", "hi")),
+    Field("scratch", AccessLevel.READ_WRITE, FieldKind.ARRAY),
+    Field("knob", AccessLevel.READ_WRITE),
+])
+
+
+class Harness:
+    """Compile once, run against named fields/arrays conveniently."""
+
+    def __init__(self, source, optimize_tail_calls=True,
+                 message=True, glb=True):
+        self.ast, self.program = compile_action(
+            source,
+            packet_schema=DEFAULT_PACKET_SCHEMA,
+            message_schema=MSG_SCHEMA if message else None,
+            global_schema=GLB_SCHEMA if glb else None,
+            optimize_tail_calls=optimize_tail_calls)
+        verify(self.program)
+
+    def field_index(self, scope, name):
+        for i, ref in enumerate(self.program.field_table):
+            if (ref.scope, ref.name) == (scope, name):
+                return i
+        raise KeyError((scope, name))
+
+    def run(self, backend="interpreter", fields=None, arrays=None,
+            seed=0, clock=0, **interp_kwargs):
+        fields = dict(fields or {})
+        arrays = dict(arrays or {})
+        fvec = []
+        for ref in self.program.field_table:
+            fvec.append(fields.get((ref.scope, ref.name), 0))
+        avec = []
+        for ref in self.program.array_table:
+            avec.append(list(arrays.get((ref.scope, ref.name), [])))
+        rng = random.Random(seed)
+        if backend == "interpreter":
+            interp = Interpreter(rng=rng, clock=lambda: clock,
+                                 **interp_kwargs)
+            result = interp.execute(self.program, fvec, avec)
+        else:
+            native = NativeFunction(self.ast, self.program, rng=rng,
+                                    clock=lambda: clock)
+            result = native.execute(fvec, avec)
+        out_fields = {
+            (ref.scope, ref.name): v
+            for ref, v in zip(self.program.field_table, result.fields)}
+        out_arrays = {
+            (ref.scope, ref.name): v
+            for ref, v in zip(self.program.array_table, result.arrays)}
+        return result, out_fields, out_arrays
+
+
+@pytest.fixture
+def harness():
+    return Harness

@@ -1,0 +1,121 @@
+"""Tests for state schemas and annotations (paper Figure 8)."""
+
+import pytest
+
+from repro.lang import (AccessLevel, DEFAULT_PACKET_SCHEMA, Field,
+                        FieldKind, Lifetime, Schema, SchemaError,
+                        schema)
+
+
+class TestField:
+    def test_defaults(self):
+        f = Field("x")
+        assert f.access is AccessLevel.READ_ONLY
+        assert f.kind is FieldKind.INT
+        assert f.default == 0
+        assert not f.is_array
+
+    def test_int_field_stride_is_one(self):
+        assert Field("x").stride == 1
+
+    def test_flat_array_stride_is_one(self):
+        f = Field("xs", kind=FieldKind.ARRAY)
+        assert f.stride == 1
+        assert f.is_array
+
+    def test_record_array_stride_counts_members(self):
+        f = Field("rs", kind=FieldKind.RECORD_ARRAY,
+                  record_fields=("a", "b", "c"))
+        assert f.stride == 3
+
+    def test_record_array_requires_members(self):
+        with pytest.raises(ValueError):
+            Field("rs", kind=FieldKind.RECORD_ARRAY)
+
+    def test_non_record_array_rejects_members(self):
+        with pytest.raises(ValueError):
+            Field("xs", kind=FieldKind.ARRAY, record_fields=("a",))
+
+    def test_record_offset(self):
+        f = Field("rs", kind=FieldKind.RECORD_ARRAY,
+                  record_fields=("a", "b"))
+        assert f.record_offset("a") == 0
+        assert f.record_offset("b") == 1
+
+    def test_record_offset_unknown_member(self):
+        f = Field("rs", kind=FieldKind.RECORD_ARRAY,
+                  record_fields=("a",))
+        with pytest.raises(KeyError):
+            f.record_offset("zzz")
+
+    def test_writable_array_with_binder_rejected(self):
+        with pytest.raises(ValueError):
+            Field("xs", AccessLevel.READ_WRITE, FieldKind.ARRAY,
+                  binder=lambda pkt, store: [])
+
+    def test_readonly_array_with_binder_allowed(self):
+        f = Field("xs", AccessLevel.READ_ONLY, FieldKind.ARRAY,
+                  binder=lambda pkt, store: [1, 2])
+        assert f.binder is not None
+
+
+class TestSchema:
+    def test_field_lookup(self):
+        s = schema("S", Lifetime.GLOBAL, [Field("a"), Field("b")])
+        assert s.field_named("a").name == "a"
+        assert s.has_field("b")
+        assert not s.has_field("c")
+
+    def test_field_lookup_missing_raises(self):
+        s = schema("S", Lifetime.GLOBAL, [Field("a")])
+        with pytest.raises(SchemaError):
+            s.field_named("missing")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            schema("S", Lifetime.GLOBAL, [Field("a"), Field("a")])
+
+    def test_packet_schema_rejects_arrays(self):
+        with pytest.raises(SchemaError):
+            schema("P", Lifetime.PACKET,
+                   [Field("xs", kind=FieldKind.ARRAY)])
+
+    def test_field_names_ordered(self):
+        s = schema("S", Lifetime.GLOBAL,
+                   [Field("z"), Field("a"), Field("m")])
+        assert s.field_names == ("z", "a", "m")
+
+    def test_writable_fields(self):
+        s = schema("S", Lifetime.GLOBAL, [
+            Field("ro"), Field("rw", AccessLevel.READ_WRITE)])
+        assert [f.name for f in s.writable_fields()] == ["rw"]
+
+
+class TestDefaultPacketSchema:
+    def test_lifetime(self):
+        assert DEFAULT_PACKET_SCHEMA.lifetime is Lifetime.PACKET
+
+    def test_size_maps_to_ipv4_total_length(self):
+        f = DEFAULT_PACKET_SCHEMA.field_named("size")
+        assert f.header_map["ipv4"] == "total_length"
+        assert f.access is AccessLevel.READ_ONLY
+
+    def test_priority_maps_to_pcp_and_is_writable(self):
+        f = DEFAULT_PACKET_SCHEMA.field_named("priority")
+        assert f.header_map["802.1q"] == "pcp"
+        assert f.access is AccessLevel.READ_WRITE
+
+    def test_header_fields_are_writable(self):
+        # Section 3.4.2: action functions can change header fields.
+        for name in ("src_ip", "dst_ip", "src_port", "dst_port"):
+            f = DEFAULT_PACKET_SCHEMA.field_named(name)
+            assert f.access is AccessLevel.READ_WRITE, name
+
+    def test_eden_control_fields_present(self):
+        for name in ("drop", "to_controller", "queue_id", "charge",
+                     "path_id"):
+            assert DEFAULT_PACKET_SCHEMA.has_field(name), name
+
+    def test_no_arrays(self):
+        assert not any(f.is_array
+                       for f in DEFAULT_PACKET_SCHEMA.fields)

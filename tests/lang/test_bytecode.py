@@ -1,0 +1,150 @@
+"""Tests for the bytecode module itself: values, instructions,
+program containers."""
+
+import pytest
+
+from repro.lang import FunctionCode, Instr, Op, Program, wrap64
+from repro.lang.bytecode import (ArrayRef, FieldRef, INT_MAX, INT_MIN,
+                                 OPS_WITH_ARG, STACK_EFFECT)
+
+
+class TestWrap64:
+    def test_boundaries(self):
+        assert wrap64(INT_MAX) == INT_MAX
+        assert wrap64(INT_MIN) == INT_MIN
+        assert wrap64(INT_MAX + 1) == INT_MIN
+        assert wrap64(INT_MIN - 1) == INT_MAX
+
+    def test_zero_and_small(self):
+        assert wrap64(0) == 0
+        assert wrap64(-1) == -1
+        assert wrap64(1) == 1
+
+    def test_full_cycle(self):
+        assert wrap64(1 << 64) == 0
+        assert wrap64((1 << 64) + 5) == 5
+
+
+class TestInstr:
+    def test_repr_with_and_without_arg(self):
+        assert repr(Instr(Op.CONST, 5)) == "CONST 5"
+        assert repr(Instr(Op.ADD)) == "ADD"
+
+    def test_stack_effects_cover_all_simple_ops(self):
+        special = {Op.CALL}
+        for op in Op:
+            if op in special:
+                continue
+            assert op in STACK_EFFECT, op.name
+
+    def test_arg_ops_consistent(self):
+        for op in OPS_WITH_ARG:
+            with pytest.raises(ValueError):
+                Instr(op)
+
+
+class TestProgram:
+    def make(self):
+        entry = FunctionCode("main", 0, 1,
+                             (Instr(Op.CONST, 1), Instr(Op.RET)))
+        helper = FunctionCode("aux", 2, 2,
+                              (Instr(Op.CONST, 0), Instr(Op.RET)))
+        return Program(
+            "prog", (entry, helper),
+            field_table=(FieldRef("packet", "priority", True),),
+            array_table=(ArrayRef("global", "xs", 1, False),))
+
+    def test_entry_is_first_function(self):
+        prog = self.make()
+        assert prog.entry.name == "main"
+
+    def test_function_index(self):
+        prog = self.make()
+        assert prog.function_index("aux") == 1
+        with pytest.raises(KeyError):
+            prog.function_index("nope")
+
+    def test_disassemble_includes_everything(self):
+        text = self.make().disassemble()
+        assert "main" in text and "aux" in text
+        assert "CONST 1" in text
+
+    def test_disassemble_annotates_calls(self):
+        entry = FunctionCode(
+            "main", 0, 1,
+            (Instr(Op.CONST, 7), Instr(Op.CONST, 8),
+             Instr(Op.CALL, 1), Instr(Op.RET)))
+        helper = FunctionCode("aux", 2, 2,
+                              (Instr(Op.CONST, 0), Instr(Op.RET)))
+        prog = Program("p", (entry, helper), (), ())
+        assert "; aux" in prog.disassemble()
+
+    def test_field_and_array_annotations(self):
+        entry = FunctionCode(
+            "main", 0, 1,
+            (Instr(Op.GETF, 0), Instr(Op.PUTF, 0),
+             Instr(Op.ALEN, 0), Instr(Op.POP), Instr(Op.CONST, 0),
+             Instr(Op.RET)))
+        prog = Program(
+            "p", (entry,),
+            field_table=(FieldRef("packet", "priority", True),),
+            array_table=(ArrayRef("global", "xs", 1, False),))
+        listing = prog.disassemble()
+        assert "packet.priority" in listing
+        assert "global.xs" in listing
+
+
+class TestRawOpcodeExecution:
+    """Opcodes the compiler rarely/never emits still honor the ISA
+    contract (hand-written or future-compiler bytecode)."""
+
+    def run_raw(self, code, n_locals=2, args=()):
+        from repro.lang import Interpreter
+        prog = Program("raw",
+                       (FunctionCode("f", len(args), n_locals,
+                                     tuple(code)),), (), ())
+        return Interpreter().execute(prog, [], [], args=args)
+
+    def test_dup_swap_pop(self):
+        result = self.run_raw([
+            Instr(Op.CONST, 3), Instr(Op.CONST, 9),
+            Instr(Op.SWAP),             # 9 3
+            Instr(Op.DUP),              # 9 3 3
+            Instr(Op.POP),              # 9 3
+            Instr(Op.SUB),              # 9-3
+            Instr(Op.RET)])
+        assert result.value == 6
+
+    def test_halt_returns_top_of_stack(self):
+        result = self.run_raw([Instr(Op.CONST, 42), Instr(Op.HALT)])
+        assert result.value == 42
+
+    def test_halt_with_empty_stack_returns_zero(self):
+        result = self.run_raw([Instr(Op.HALT)])
+        assert result.value == 0
+
+    def test_entry_args_fill_locals(self):
+        result = self.run_raw(
+            [Instr(Op.LOAD, 0), Instr(Op.LOAD, 1), Instr(Op.ADD),
+             Instr(Op.RET)], args=(30, 12))
+        assert result.value == 42
+
+    def test_fell_off_end_faults(self):
+        from repro.lang import InterpreterFault
+        with pytest.raises(InterpreterFault, match="fell off"):
+            self.run_raw([Instr(Op.CONST, 1), Instr(Op.POP)])
+
+    def test_stack_underflow_faults(self):
+        from repro.lang import InterpreterFault
+        with pytest.raises(InterpreterFault, match="underflow"):
+            self.run_raw([Instr(Op.ADD), Instr(Op.RET)])
+
+    def test_operand_stack_limit_enforced(self):
+        from repro.lang import Interpreter, InterpreterFault
+        code = [Instr(Op.CONST, 1) for _ in range(50)]
+        code.append(Instr(Op.RET))
+        prog = Program("deep",
+                       (FunctionCode("f", 0, 1, tuple(code)),),
+                       (), ())
+        with pytest.raises(InterpreterFault, match="exceeds"):
+            Interpreter(max_operand_stack=10).execute(prog, [], [])

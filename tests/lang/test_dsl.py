@@ -1,0 +1,403 @@
+"""Tests for the DSL frontend: quotation, lowering, restrictions."""
+
+import pytest
+
+from repro.lang import (AccessLevel, DEFAULT_PACKET_SCHEMA, DslError,
+                        Field, FieldKind, Lifetime, lower, quote,
+                        schema)
+from repro.lang import ast_nodes as T
+
+MSG = schema("M", Lifetime.MESSAGE, [
+    Field("counter", AccessLevel.READ_WRITE),
+    Field("limit", AccessLevel.READ_ONLY, default=5),
+])
+GLB = schema("G", Lifetime.GLOBAL, [
+    Field("weights", AccessLevel.READ_ONLY, FieldKind.ARRAY),
+    Field("records", AccessLevel.READ_ONLY, FieldKind.RECORD_ARRAY,
+          record_fields=("lo", "hi")),
+    Field("scratch", AccessLevel.READ_WRITE, FieldKind.ARRAY),
+    Field("knob", AccessLevel.READ_WRITE),
+])
+
+
+def lower_ok(fn):
+    return lower(fn, packet_schema=DEFAULT_PACKET_SCHEMA,
+                 message_schema=MSG, global_schema=GLB)
+
+
+class TestQuote:
+    def test_quote_from_source_string(self):
+        node = quote("def f(packet):\n    packet.priority = 1\n")
+        assert node.name == "f"
+
+    def test_quote_rejects_non_function(self):
+        with pytest.raises(DslError):
+            quote("x = 1\n")
+
+    def test_quote_rejects_bad_syntax(self):
+        with pytest.raises(DslError):
+            quote("def f(:\n")
+
+
+class TestParameterBinding:
+    def test_packet_only(self):
+        prog = lower("def f(packet):\n    packet.priority = 1\n",
+                     packet_schema=DEFAULT_PACKET_SCHEMA)
+        assert prog.field_table[0].scope == "packet"
+
+    def test_packet_and_global_by_name(self):
+        src = ("def f(packet, _global):\n"
+               "    packet.priority = _global.knob\n")
+        prog = lower(src, packet_schema=DEFAULT_PACKET_SCHEMA,
+                     global_schema=GLB)
+        scopes = {r.scope for r in prog.field_table}
+        assert scopes == {"packet", "global"}
+
+    def test_unknown_parameter_name_rejected(self):
+        with pytest.raises(DslError, match="unknown state parameter"):
+            lower("def f(bogus):\n    pass\n",
+                  packet_schema=DEFAULT_PACKET_SCHEMA)
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(DslError, match="no message schema"):
+            lower("def f(packet, msg):\n    pass\n",
+                  packet_schema=DEFAULT_PACKET_SCHEMA)
+
+    def test_duplicate_scope_rejected(self):
+        with pytest.raises(DslError, match="bound twice"):
+            lower("def f(packet, pkt):\n    pass\n",
+                  packet_schema=DEFAULT_PACKET_SCHEMA)
+
+    def test_keyword_parameters_rejected(self):
+        with pytest.raises(DslError):
+            lower("def f(packet=None):\n    pass\n",
+                  packet_schema=DEFAULT_PACKET_SCHEMA)
+
+
+class TestStateAccess:
+    def test_read_and_write_scalar(self):
+        src = ("def f(packet, msg):\n"
+               "    msg.counter = msg.counter + packet.size\n")
+        prog = lower(src, packet_schema=DEFAULT_PACKET_SCHEMA,
+                     message_schema=MSG)
+        stmts = prog.functions[0].body
+        assert isinstance(stmts[0], T.AssignState)
+        assert stmts[0].scope == "message"
+
+    def test_write_readonly_field_rejected(self):
+        with pytest.raises(DslError, match="read-only"):
+            lower_ok("def f(packet):\n    packet.size = 0\n")
+
+    def test_write_readonly_message_field_rejected(self):
+        with pytest.raises(DslError, match="read-only"):
+            lower_ok("def f(msg):\n    msg.limit = 1\n")
+
+    def test_unknown_field_lists_alternatives(self):
+        with pytest.raises(DslError, match="declared fields"):
+            lower_ok("def f(packet):\n    packet.bogus = 1\n")
+
+    def test_state_param_as_value_rejected(self):
+        with pytest.raises(DslError,
+                           match="cannot be used as a value"):
+            lower_ok("def f(packet):\n    x = packet\n")
+
+    def test_rebind_state_param_rejected(self):
+        with pytest.raises(DslError, match="cannot rebind"):
+            lower_ok("def f(packet):\n    packet = 1\n")
+
+
+class TestArrays:
+    def test_flat_array_read(self):
+        prog = lower_ok(
+            "def f(packet, _global):\n"
+            "    packet.priority = _global.weights[2]\n")
+        exprs = list(T.expressions_of(prog.functions[0].body[0]))
+        assert isinstance(exprs[0], T.ArrayIndex)
+        assert exprs[0].stride == 1 and exprs[0].offset == 0
+
+    def test_record_array_member_read(self):
+        prog = lower_ok(
+            "def f(packet, _global):\n"
+            "    packet.priority = _global.records[0].hi\n")
+        expr = prog.functions[0].body[0].value
+        assert isinstance(expr, T.ArrayIndex)
+        assert expr.stride == 2 and expr.offset == 1
+
+    def test_record_array_without_member_rejected(self):
+        with pytest.raises(DslError, match="record array"):
+            lower_ok("def f(packet, _global):\n"
+                     "    packet.priority = _global.records[0]\n")
+
+    def test_flat_array_with_member_rejected(self):
+        with pytest.raises(DslError, match="no member"):
+            lower_ok("def f(packet, _global):\n"
+                     "    packet.priority = _global.weights[0].x\n")
+
+    def test_len_of_array(self):
+        prog = lower_ok("def f(packet, _global):\n"
+                        "    packet.priority = len(_global.weights)\n")
+        assert isinstance(prog.functions[0].body[0].value, T.ArrayLen)
+
+    def test_len_of_scalar_rejected(self):
+        with pytest.raises(DslError, match="not an array"):
+            lower_ok("def f(packet, _global):\n"
+                     "    packet.priority = len(_global.knob)\n")
+
+    def test_writable_array_store(self):
+        prog = lower_ok("def f(packet, _global):\n"
+                        "    _global.scratch[0] = packet.size\n")
+        assert isinstance(prog.functions[0].body[0], T.AssignArray)
+
+    def test_readonly_array_store_rejected(self):
+        with pytest.raises(DslError, match="read-only"):
+            lower_ok("def f(packet, _global):\n"
+                     "    _global.weights[0] = 1\n")
+
+    def test_whole_array_read_rejected(self):
+        with pytest.raises(DslError, match="must be indexed"):
+            lower_ok("def f(packet, _global):\n"
+                     "    x = _global.weights\n")
+
+    def test_array_slice_rejected(self):
+        with pytest.raises(DslError, match="slice"):
+            lower_ok("def f(packet, _global):\n"
+                     "    x = _global.weights[0:2]\n")
+
+
+class TestRestrictions:
+    def test_float_constant_rejected(self):
+        with pytest.raises(DslError, match="not an integer"):
+            lower_ok("def f(packet):\n    x = 1.5\n")
+
+    def test_string_constant_rejected(self):
+        with pytest.raises(DslError, match="not an integer"):
+            lower_ok("def f(packet):\n    x = 'hello'\n")
+
+    def test_true_division_rejected(self):
+        with pytest.raises(DslError, match="use //"):
+            lower_ok("def f(packet):\n    x = packet.size / 2\n")
+
+    def test_power_operator_rejected(self):
+        with pytest.raises(DslError):
+            lower_ok("def f(packet):\n    x = packet.size ** 2\n")
+
+    def test_docstring_allowed(self):
+        prog = lower_ok('def f(packet):\n    """doc"""\n    pass\n')
+        assert prog.functions[0].body == (T.Pass(),)
+
+    def test_tuple_unpacking_rejected(self):
+        with pytest.raises(DslError,
+                           match="unpacking|outside the DSL"):
+            lower_ok("def f(packet):\n    a, b = 1, 2\n")
+
+    def test_import_rejected(self):
+        with pytest.raises(DslError):
+            lower_ok("def f(packet):\n    import os\n")
+
+    def test_lambda_in_nested_function_rejected(self):
+        with pytest.raises(DslError):
+            lower_ok("def f(packet):\n"
+                     "    def g():\n"
+                     "        h = lambda: 1\n"
+                     "        return 0\n"
+                     "    x = g()\n")
+
+    def test_while_else_rejected(self):
+        with pytest.raises(DslError, match="while/else"):
+            lower_ok("def f(packet):\n"
+                     "    while packet.size > 0:\n"
+                     "        pass\n"
+                     "    else:\n"
+                     "        pass\n")
+
+    def test_in_comparison_rejected(self):
+        with pytest.raises(DslError, match="not supported"):
+            lower_ok("def f(packet, _global):\n"
+                     "    x = 1 if packet.size in (1, 2) else 0\n")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DslError, match="unknown name"):
+            lower_ok("def f(packet):\n    x = mystery\n")
+
+    def test_use_before_assignment_rejected(self):
+        with pytest.raises(DslError, match="before assignment"):
+            lower_ok("def f(packet):\n"
+                     "    if packet.size > 0:\n"
+                     "        y = 1\n"
+                     "    x = y\n")
+
+    def test_assignment_in_both_branches_usable(self):
+        prog = lower_ok("def f(packet):\n"
+                        "    if packet.size > 0:\n"
+                        "        y = 1\n"
+                        "    else:\n"
+                        "        y = 2\n"
+                        "    packet.priority = y\n")
+        assert prog is not None
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(DslError, match="break outside loop"):
+            lower_ok("def f(packet):\n    break\n")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(DslError, match="continue outside loop"):
+            lower_ok("def f(packet):\n    continue\n")
+
+
+class TestLoops:
+    def test_for_range_single_arg(self):
+        prog = lower_ok("def f(packet):\n"
+                        "    t = 0\n"
+                        "    for i in range(3):\n"
+                        "        t = t + i\n"
+                        "    packet.priority = t\n")
+        whiles = [s for s in T.walk_stmts(prog.functions[0].body)
+                  if isinstance(s, T.While)]
+        assert len(whiles) == 1
+
+    def test_for_range_step_must_be_constant(self):
+        with pytest.raises(DslError, match="integer constant"):
+            lower_ok("def f(packet):\n"
+                     "    for i in range(0, 10, packet.size):\n"
+                     "        pass\n")
+
+    def test_for_range_zero_step_rejected(self):
+        with pytest.raises(DslError, match="non-zero"):
+            lower_ok("def f(packet):\n"
+                     "    for i in range(0, 10, 0):\n"
+                     "        pass\n")
+
+    def test_for_over_non_range_rejected(self):
+        with pytest.raises(DslError, match="range"):
+            lower_ok("def f(packet, _global):\n"
+                     "    for i in _global.weights:\n"
+                     "        pass\n")
+
+
+class TestNestedFunctions:
+    def test_simple_helper(self):
+        prog = lower_ok("def f(packet):\n"
+                        "    def double(x):\n"
+                        "        return x * 2\n"
+                        "    packet.priority = double(3)\n")
+        assert len(prog.functions) == 2
+        assert prog.functions[1].name == "double"
+
+    def test_capture_becomes_hidden_parameter(self):
+        prog = lower_ok("def f(packet):\n"
+                        "    base = packet.size\n"
+                        "    def add(x):\n"
+                        "        return x + base\n"
+                        "    packet.priority = add(1)\n")
+        helper = prog.functions[1]
+        assert helper.params == ("x", "base")
+        call = prog.functions[0].body[-1].value
+        assert isinstance(call, T.Call)
+        assert len(call.args) == 2
+
+    def test_recursion_allowed(self):
+        prog = lower_ok(
+            "def f(packet):\n"
+            "    def fact(n):\n"
+            "        if n <= 1:\n"
+            "            return 1\n"
+            "        return n * fact(n - 1)\n"
+            "    packet.priority = fact(3)\n")
+        assert len(prog.functions) == 2
+
+    def test_assignment_in_nested_function_shadows(self):
+        # Python semantics: assigning a name makes it local to the
+        # nested function; the outer local is not captured.
+        prog = lower_ok("def f(packet):\n"
+                        "    base = 1\n"
+                        "    def g():\n"
+                        "        base = 2\n"
+                        "        return base\n"
+                        "    x = g()\n")
+        assert prog.functions[1].params == ()
+
+    def test_read_then_assign_in_nested_function_rejected(self):
+        # Reading a name that the nested function also assigns is a
+        # use-before-assignment error (again as in Python).
+        with pytest.raises(DslError, match="before assignment"):
+            lower_ok("def f(packet):\n"
+                     "    base = 1\n"
+                     "    def g():\n"
+                     "        y = base\n"
+                     "        base = 2\n"
+                     "        return y\n"
+                     "    x = g()\n")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(DslError, match="argument"):
+            lower_ok("def f(packet):\n"
+                     "    def g(x):\n"
+                     "        return x\n"
+                     "    y = g(1, 2)\n")
+
+    def test_doubly_nested_function_rejected(self):
+        with pytest.raises(DslError, match="further functions"):
+            lower_ok("def f(packet):\n"
+                     "    def g():\n"
+                     "        def h():\n"
+                     "            return 1\n"
+                     "        return h()\n"
+                     "    x = g()\n")
+
+
+class TestBuiltins:
+    def test_rand(self):
+        prog = lower_ok("def f(packet):\n"
+                        "    packet.priority = rand(8)\n")
+        assert isinstance(prog.functions[0].body[0].value, T.Builtin)
+
+    def test_clock(self):
+        prog = lower_ok("def f(packet):\n"
+                        "    x = clock()\n")
+        assert prog is not None
+
+    def test_rand_arity_checked(self):
+        with pytest.raises(DslError):
+            lower_ok("def f(packet):\n    x = rand()\n")
+
+    def test_min_max_abs_are_sugar(self):
+        prog = lower_ok(
+            "def f(packet):\n"
+            "    packet.priority = min(max(abs(0 - 3), 1), 7)\n")
+        # Lowered entirely to IfExp / Compare — no Builtin nodes.
+        def exprs(stmts):
+            for stmt in T.walk_stmts(stmts):
+                for e in T.expressions_of(stmt):
+                    yield from T.walk_expr(e)
+        assert not any(isinstance(e, T.Builtin)
+                       for e in exprs(prog.functions[0].body))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(DslError, match="unknown function"):
+            lower_ok("def f(packet):\n    x = frobnicate(1)\n")
+
+
+class TestExpressions:
+    def test_chained_comparison_lowered_to_and(self):
+        prog = lower_ok("def f(packet):\n"
+                        "    x = 1 if 0 < packet.size < 100 else 0\n")
+        assert prog is not None
+
+    def test_bool_constants_become_ints(self):
+        prog = lower_ok("def f(packet):\n"
+                        "    x = True\n"
+                        "    y = False\n")
+        assert prog.functions[0].body[0].value == T.Const(1)
+        assert prog.functions[0].body[1].value == T.Const(0)
+
+    def test_augmented_assignment(self):
+        prog = lower_ok("def f(msg):\n"
+                        "    msg.counter += 2\n")
+        stmt = prog.functions[0].body[0]
+        assert isinstance(stmt, T.AssignState)
+        assert isinstance(stmt.value, T.BinOp)
+
+    def test_augmented_array_assignment(self):
+        prog = lower_ok("def f(packet, _global):\n"
+                        "    _global.scratch[1] += 5\n")
+        assert isinstance(prog.functions[0].body[0], T.AssignArray)

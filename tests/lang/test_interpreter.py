@@ -1,0 +1,375 @@
+"""Tests for the bytecode interpreter: semantics, safety, stats."""
+
+import pytest
+
+from repro.lang import Interpreter, InterpreterFault, wrap64
+from repro.lang.bytecode import (Assembler, FieldRef, Op, Program)
+
+from conftest import Harness
+
+
+def run_src(src, **kwargs):
+    return Harness(src).run(**kwargs)
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    packet.priority = (2 + 3) * 4 - 19\n")
+        assert fields[("packet", "priority")] == 1
+
+    def test_floor_division_negative(self):
+        # Python floor semantics: -7 // 2 == -4.
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    packet.priority = (0 - 7) // 2\n")
+        assert fields[("packet", "priority")] == -4
+
+    def test_modulo_negative(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    packet.priority = (0 - 7) % 3\n")
+        assert fields[("packet", "priority")] == 2
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(InterpreterFault, match="division by zero"):
+            run_src("def f(packet):\n"
+                    "    packet.priority = 1 // (packet.size - 54)\n",
+                    fields={("packet", "size"): 54})
+
+    def test_modulo_by_zero_faults(self):
+        with pytest.raises(InterpreterFault, match="modulo by zero"):
+            run_src("def f(packet):\n"
+                    "    packet.priority = 1 % (packet.size - 54)\n",
+                    fields={("packet", "size"): 54})
+
+    def test_wraparound_64bit(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    big = (1 << 62) + ((1 << 62) - 1)\n"
+            "    packet.priority = big + big + 2\n")
+        # (2^63-1) + (2^63-1) + 2 wraps to 0.
+        assert fields[("packet", "priority")] == 0
+
+    def test_shift_semantics(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    packet.priority = (1 << 10) >> 3\n")
+        assert fields[("packet", "priority")] == 128
+
+    def test_shift_out_of_range_faults(self):
+        with pytest.raises(InterpreterFault, match="shift amount"):
+            run_src("def f(packet):\n"
+                    "    packet.priority = 1 << (packet.size + 10)\n",
+                    fields={("packet", "size"): 60})
+
+    def test_bitwise_ops(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    packet.priority = (12 & 10) | (1 ^ 3)\n")
+        assert fields[("packet", "priority")] == (12 & 10) | (1 ^ 3)
+
+    def test_unary_ops(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    packet.priority = -(~5)\n")
+        assert fields[("packet", "priority")] == 6
+
+
+class TestControlFlow:
+    def test_if_elif_else(self):
+        src = ("def f(packet):\n"
+               "    if packet.size < 10:\n"
+               "        packet.priority = 1\n"
+               "    elif packet.size < 100:\n"
+               "        packet.priority = 2\n"
+               "    else:\n"
+               "        packet.priority = 3\n")
+        h = Harness(src)
+        for size, expect in ((5, 1), (50, 2), (500, 3)):
+            _, fields, _ = h.run(fields={("packet", "size"): size})
+            assert fields[("packet", "priority")] == expect
+
+    def test_while_loop(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    total = 0\n"
+            "    i = 0\n"
+            "    while i < 10:\n"
+            "        total += i\n"
+            "        i += 1\n"
+            "    packet.priority = total\n")
+        assert fields[("packet", "priority")] == 45
+
+    def test_for_loop_with_continue(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    total = 0\n"
+            "    for i in range(10):\n"
+            "        if i % 2 == 0:\n"
+            "            continue\n"
+            "        total += i\n"
+            "    packet.priority = total\n")
+        assert fields[("packet", "priority")] == 1 + 3 + 5 + 7 + 9
+
+    def test_for_loop_with_break(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    total = 0\n"
+            "    for i in range(100):\n"
+            "        if i == 5:\n"
+            "            break\n"
+            "        total += 1\n"
+            "    packet.priority = total\n")
+        assert fields[("packet", "priority")] == 5
+
+    def test_for_loop_negative_step(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    total = 0\n"
+            "    for i in range(5, 0, -1):\n"
+            "        total += i\n"
+            "    packet.priority = total\n")
+        assert fields[("packet", "priority")] == 15
+
+    def test_short_circuit_and(self):
+        # The right operand would fault (div by zero) if evaluated.
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    z = packet.size - 54\n"
+            "    ok = packet.size > 100 and (10 // z) > 0\n"
+            "    packet.priority = ok\n",
+            fields={("packet", "size"): 54})
+        assert fields[("packet", "priority")] == 0
+
+    def test_short_circuit_or(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    z = packet.size - 54\n"
+            "    ok = packet.size < 100 or (10 // z) > 0\n"
+            "    packet.priority = ok\n",
+            fields={("packet", "size"): 54})
+        assert fields[("packet", "priority")] == 1
+
+    def test_conditional_expression(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    packet.priority = 7 if packet.size > 10 else 1\n",
+            fields={("packet", "size"): 5})
+        assert fields[("packet", "priority")] == 1
+
+
+class TestStateAndArrays:
+    def test_message_state_roundtrip(self):
+        _, fields, _ = run_src(
+            "def f(packet, msg):\n"
+            "    msg.counter = msg.counter + 2\n",
+            fields={("message", "counter"): 40})
+        assert fields[("message", "counter")] == 42
+
+    def test_readonly_array_heap_read(self):
+        _, fields, _ = run_src(
+            "def f(packet, _global):\n"
+            "    packet.priority = _global.weights[1]\n",
+            arrays={("global", "weights"): [10, 20, 30]})
+        assert fields[("packet", "priority")] == 20
+
+    def test_record_array_member_access(self):
+        _, fields, _ = run_src(
+            "def f(packet, _global):\n"
+            "    packet.priority = _global.records[1].hi\n",
+            arrays={("global", "records"): [1, 2, 3, 4]})
+        assert fields[("packet", "priority")] == 4
+
+    def test_writable_array_mutation_committed(self):
+        _, _, arrays = run_src(
+            "def f(packet, _global):\n"
+            "    _global.scratch[0] = 99\n",
+            arrays={("global", "scratch"): [0, 1]})
+        assert arrays[("global", "scratch")] == [99, 1]
+
+    def test_heap_read_out_of_bounds_faults(self):
+        with pytest.raises(InterpreterFault, match="out of bounds"):
+            run_src("def f(packet, _global):\n"
+                    "    packet.priority = _global.weights[5]\n",
+                    arrays={("global", "weights"): [1, 2]})
+
+    def test_heap_negative_index_faults(self):
+        with pytest.raises(InterpreterFault, match="out of bounds"):
+            run_src("def f(packet, _global):\n"
+                    "    packet.priority = "
+                    "_global.weights[0 - 1]\n",
+                    arrays={("global", "weights"): [1, 2]})
+
+    def test_heap_write_to_readonly_region_is_impossible(self):
+        # The frontend rejects stores to read-only arrays; simulate a
+        # hostile program by patching the bytecode to HSTORE into the
+        # read-only region and check the runtime catches it.
+        h = Harness("def f(packet, _global):\n"
+                    "    packet.priority = _global.weights[0]\n")
+        from repro.lang.bytecode import FunctionCode, Instr, Program
+        entry = h.program.entry
+        hacked_code = (Instr(Op.CONST, 123), Instr(Op.CONST, 0),
+                       Instr(Op.HSTORE), Instr(Op.CONST, 0),
+                       Instr(Op.RET))
+        hacked = Program(
+            name="hack",
+            functions=(FunctionCode("f", 0, entry.n_locals,
+                                    hacked_code),),
+            field_table=h.program.field_table,
+            array_table=h.program.array_table)
+        with pytest.raises(InterpreterFault, match="writable"):
+            Interpreter().execute(
+                hacked, [0] * len(hacked.field_table), [[1, 2]])
+
+    def test_len_matches_array(self):
+        _, fields, _ = run_src(
+            "def f(packet, _global):\n"
+            "    packet.priority = len(_global.records)\n",
+            arrays={("global", "records"): [1, 2, 3, 4, 5, 6]})
+        assert fields[("packet", "priority")] == 3
+
+    def test_misaligned_record_array_faults(self):
+        with pytest.raises(InterpreterFault, match="stride"):
+            run_src("def f(packet, _global):\n"
+                    "    packet.priority = len(_global.records)\n",
+                    arrays={("global", "records"): [1, 2, 3]})
+
+
+class TestBuiltins:
+    def test_rand_within_bound_and_deterministic(self):
+        h = Harness("def f(packet):\n"
+                    "    packet.priority = rand(8)\n")
+        _, fields_a, _ = h.run(seed=42)
+        _, fields_b, _ = h.run(seed=42)
+        assert fields_a == fields_b
+        assert 0 <= fields_a[("packet", "priority")] < 8
+
+    def test_rand_nonpositive_bound_faults(self):
+        with pytest.raises(InterpreterFault, match="rand bound"):
+            run_src("def f(packet):\n"
+                    "    packet.priority = rand(packet.size - 54)\n",
+                    fields={("packet", "size"): 54})
+
+    def test_clock_sampled_once_per_invocation(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    a = clock()\n"
+            "    b = clock()\n"
+            "    packet.priority = 1 if a == b else 0\n",
+            clock=123456)
+        assert fields[("packet", "priority")] == 1
+
+    def test_clock_value(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    packet.queue_id = clock()\n", clock=777)
+        assert fields[("packet", "queue_id")] == 777
+
+
+class TestFunctionsAndRecursion:
+    def test_helper_function_call(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    def square(x):\n"
+            "        return x * x\n"
+            "    packet.priority = square(square(2))\n")
+        assert fields[("packet", "priority")] == 16
+
+    def test_nontail_recursion(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    def fact(n):\n"
+            "        if n <= 1:\n"
+            "            return 1\n"
+            "        return n * fact(n - 1)\n"
+            "    packet.priority = fact(6)\n")
+        assert fields[("packet", "priority")] == 720
+
+    def test_tail_recursion_deep_with_tco(self):
+        # 10000 levels would blow the call-depth limit without TCO.
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    def count(n, acc):\n"
+            "        if n == 0:\n"
+            "            return acc\n"
+            "        return count(n - 1, acc + 1)\n"
+            "    packet.queue_id = count(10000, 0)\n")
+        assert fields[("packet", "queue_id")] == 10000
+
+    def test_deep_nontail_recursion_faults(self):
+        with pytest.raises(InterpreterFault, match="call depth"):
+            run_src("def f(packet):\n"
+                    "    def fact(n):\n"
+                    "        if n <= 1:\n"
+                    "            return 1\n"
+                    "        return n * fact(n - 1)\n"
+                    "    packet.queue_id = fact(10000)\n")
+
+    def test_mutual_state_through_captures(self):
+        _, fields, _ = run_src(
+            "def f(packet):\n"
+            "    base = packet.size\n"
+            "    def add(x):\n"
+            "        return x + base\n"
+            "    packet.queue_id = add(add(0))\n",
+            fields={("packet", "size"): 7})
+        assert fields[("packet", "queue_id")] == 14
+
+
+class TestResourceLimits:
+    def test_op_budget_enforced(self):
+        with pytest.raises(InterpreterFault, match="op budget"):
+            run_src("def f(packet):\n"
+                    "    x = 0\n"
+                    "    while True:\n"
+                    "        x += 1\n",
+                    op_budget=1000)
+
+    def test_heap_limit_enforced(self):
+        with pytest.raises(InterpreterFault, match="heap"):
+            run_src("def f(packet, _global):\n"
+                    "    packet.priority = _global.weights[0]\n",
+                    arrays={("global", "weights"): [1] * 100},
+                    max_heap_words=10)
+
+    def test_stats_reported(self):
+        result, _, _ = run_src(
+            "def f(packet):\n"
+            "    packet.priority = packet.size + packet.queue_id\n")
+        assert result.stats.ops_executed > 0
+        assert result.stats.max_operand_stack >= 2
+        assert result.stats.stack_bytes == \
+            result.stats.max_operand_stack * 8
+
+    def test_field_count_mismatch_faults(self):
+        h = Harness("def f(packet):\n    packet.priority = 1\n")
+        with pytest.raises(InterpreterFault, match="fields"):
+            Interpreter().execute(h.program, [], [])
+
+    def test_array_count_mismatch_faults(self):
+        h = Harness("def f(packet, _global):\n"
+                    "    packet.priority = _global.weights[0]\n")
+        with pytest.raises(InterpreterFault, match="arrays"):
+            Interpreter().execute(
+                h.program, [0] * len(h.program.field_table), [])
+
+
+class TestReturnValue:
+    def test_explicit_return_value(self):
+        result, _, _ = run_src("def f(packet):\n    return 42\n")
+        assert result.value == 42
+
+    def test_fallthrough_returns_zero(self):
+        result, _, _ = run_src("def f(packet):\n    x = 1\n")
+        assert result.value == 0
+
+    def test_bare_return_returns_zero(self):
+        result, _, _ = run_src(
+            "def f(packet):\n"
+            "    if packet.size == 0:\n"
+            "        return\n"
+            "    return 9\n",
+            fields={("packet", "size"): 0})
+        assert result.value == 0

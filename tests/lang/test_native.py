@@ -1,0 +1,131 @@
+"""Tests for the native backend and its equivalence contract."""
+
+import pytest
+
+from repro.lang import InterpreterFault, NativeFault
+
+from conftest import Harness
+
+PROGRAMS = [
+    # (source, fields, arrays)
+    ("def f(packet):\n"
+     "    packet.priority = (packet.size * 3 - 7) % 11\n",
+     {("packet", "size"): 1514}, {}),
+    ("def f(packet, msg):\n"
+     "    msg.counter = msg.counter + packet.size\n"
+     "    packet.priority = 1 if msg.counter > msg.limit else 0\n",
+     {("packet", "size"): 4, ("message", "counter"): 2,
+      ("message", "limit"): 5}, {}),
+    ("def f(packet, _global):\n"
+     "    total = 0\n"
+     "    for i in range(len(_global.weights)):\n"
+     "        total += _global.weights[i]\n"
+     "    packet.queue_id = total\n",
+     {}, {("global", "weights"): [5, 10, 15]}),
+    ("def f(packet, _global):\n"
+     "    def pick(i):\n"
+     "        if i >= len(_global.records):\n"
+     "            return 0 - 1\n"
+     "        elif packet.size <= _global.records[i].lo:\n"
+     "            return _global.records[i].hi\n"
+     "        else:\n"
+     "            return pick(i + 1)\n"
+     "    packet.priority = pick(0)\n",
+     {("packet", "size"): 50},
+     {("global", "records"): [10, 7, 100, 6, 10000, 5]}),
+    ("def f(packet, _global):\n"
+     "    _global.scratch[packet.size % len(_global.scratch)] += 1\n"
+     "    _global.knob = _global.knob + 1\n",
+     {("packet", "size"): 7, ("global", "knob"): 41},
+     {("global", "scratch"): [0, 0, 0]}),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("source,fields,arrays", PROGRAMS)
+    def test_same_fields_and_arrays(self, source, fields, arrays):
+        h = Harness(source)
+        ri, fi, ai = h.run("interpreter", fields=fields,
+                           arrays=arrays, seed=7)
+        rn, fn_, an = h.run("native", fields=fields, arrays=arrays,
+                            seed=7)
+        assert fi == fn_
+        assert ai == an
+        assert ri.value == rn.value
+
+    def test_rand_sequence_identical(self):
+        src = ("def f(packet):\n"
+               "    packet.priority = rand(7)\n"
+               "    packet.queue_id = rand(100)\n")
+        h = Harness(src)
+        _, fi, _ = h.run("interpreter", seed=99)
+        _, fn_, _ = h.run("native", seed=99)
+        assert fi == fn_
+
+    def test_clock_identical(self):
+        src = "def f(packet):\n    packet.queue_id = clock()\n"
+        h = Harness(src)
+        _, fi, _ = h.run("interpreter", clock=314)
+        _, fn_, _ = h.run("native", clock=314)
+        assert fi == fn_
+        assert fi[("packet", "queue_id")] == 314
+
+
+class TestNativeFaults:
+    def test_division_by_zero(self):
+        h = Harness("def f(packet):\n"
+                    "    packet.priority = 5 // packet.size\n")
+        with pytest.raises(NativeFault, match="division"):
+            h.run("native", fields={("packet", "size"): 0})
+
+    def test_array_out_of_bounds(self):
+        h = Harness("def f(packet, _global):\n"
+                    "    packet.priority = _global.weights[10]\n")
+        with pytest.raises(NativeFault, match="out of bounds"):
+            h.run("native", arrays={("global", "weights"): [1]})
+
+    def test_shift_out_of_range(self):
+        h = Harness("def f(packet):\n"
+                    "    packet.priority = 1 << packet.size\n")
+        with pytest.raises(NativeFault, match="shift"):
+            h.run("native", fields={("packet", "size"): 99})
+
+    def test_rand_bad_bound(self):
+        h = Harness("def f(packet):\n"
+                    "    packet.priority = rand(packet.size)\n")
+        with pytest.raises(NativeFault, match="rand"):
+            h.run("native", fields={("packet", "size"): 0})
+
+    def test_native_fault_is_interpreter_fault_subclass(self):
+        # The enclave catches InterpreterFault for both backends.
+        assert issubclass(NativeFault, InterpreterFault)
+
+    def test_deep_recursion_faults_not_crashes(self):
+        h = Harness("def f(packet):\n"
+                    "    def down(n):\n"
+                    "        if n == 0:\n"
+                    "            return 0\n"
+                    "        return 1 + down(n - 1)\n"
+                    "    packet.priority = down(100000)\n",
+                    optimize_tail_calls=False)
+        with pytest.raises(InterpreterFault):
+            h.run("native")
+
+
+class TestGeneratedSource:
+    def test_source_is_available_for_inspection(self):
+        from repro.lang import NativeFunction
+        h = Harness("def f(packet):\n    packet.priority = 1\n")
+        native = NativeFunction(h.ast, h.program)
+        assert "def __entry__" in native.python_source
+        assert "F[" in native.python_source
+
+    def test_wraparound_matches_interpreter(self):
+        src = ("def f(packet):\n"
+               "    big = 1 << 62\n"
+               "    packet.queue_id = big * 4 + packet.size\n")
+        h = Harness(src)
+        _, fi, _ = h.run("interpreter",
+                         fields={("packet", "size"): 3})
+        _, fn_, _ = h.run("native", fields={("packet", "size"): 3})
+        assert fi == fn_

@@ -1,0 +1,182 @@
+"""Tests for the peephole optimizer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import (Instr, Op, compile_action, verify)
+from repro.lang.bytecode import FunctionCode, Program
+from repro.lang.optimizer import (optimize_function,
+                                  optimize_program)
+
+from conftest import GLB_SCHEMA, Harness, MSG_SCHEMA
+from repro.lang import DEFAULT_PACKET_SCHEMA, Interpreter
+
+
+def compile_both(source):
+    """(unoptimized, optimized) programs for one source."""
+    _, raw = compile_action(source,
+                            packet_schema=DEFAULT_PACKET_SCHEMA,
+                            message_schema=MSG_SCHEMA,
+                            global_schema=GLB_SCHEMA,
+                            peephole=False)
+    opt = optimize_program(raw)
+    verify(raw)
+    verify(opt)
+    return raw, opt
+
+
+def run(program, fields=None, arrays=None):
+    fvec = []
+    fields = fields or {}
+    for ref in program.field_table:
+        fvec.append(fields.get((ref.scope, ref.name), 0))
+    avec = []
+    arrays = arrays or {}
+    for ref in program.array_table:
+        avec.append(list(arrays.get((ref.scope, ref.name), [])))
+    return Interpreter().execute(program, fvec, avec)
+
+
+def total_ops(program):
+    return sum(len(f.code) for f in program.functions)
+
+
+class TestFolding:
+    def test_constant_arithmetic_folds(self):
+        raw, opt = compile_both(
+            "def f(packet):\n"
+            "    packet.priority = (2 + 3) * 4 - 19\n")
+        assert total_ops(opt) < total_ops(raw)
+        consts = [i.arg for i in opt.entry.code
+                  if i.op is Op.CONST]
+        assert 1 in consts  # fully folded result
+
+    def test_division_by_zero_not_folded(self):
+        # The fault must still occur at run time.
+        raw, opt = compile_both(
+            "def f(packet):\n"
+            "    packet.priority = 1 // 0\n")
+        assert any(i.op is Op.DIV for i in opt.entry.code)
+        from repro.lang import InterpreterFault
+        with pytest.raises(InterpreterFault):
+            run(opt)
+
+    def test_bad_shift_not_folded(self):
+        raw, opt = compile_both(
+            "def f(packet):\n"
+            "    packet.priority = 1 << 99\n")
+        assert any(i.op is Op.SHL for i in opt.entry.code)
+
+    def test_unary_folds(self):
+        raw, opt = compile_both(
+            "def f(packet):\n"
+            "    packet.priority = -(5)\n")
+        consts = [i.arg for i in opt.entry.code
+                  if i.op is Op.CONST]
+        assert -5 in consts
+
+
+class TestBranches:
+    def test_constant_true_branch_resolved(self):
+        raw, opt = compile_both(
+            "def f(packet):\n"
+            "    if True:\n"
+            "        packet.priority = 1\n"
+            "    else:\n"
+            "        packet.priority = 2\n")
+        # The dead else arm disappears entirely.
+        assert not any(i.op is Op.CONST and i.arg == 2
+                       for i in opt.entry.code)
+        result = run(opt)
+        assert result.fields[0] == 1
+
+    def test_while_true_loops_still_work(self):
+        raw, opt = compile_both(
+            "def f(packet):\n"
+            "    i = 0\n"
+            "    while True:\n"
+            "        i += 1\n"
+            "        if i >= 5:\n"
+            "            break\n"
+            "    packet.priority = i\n")
+        assert run(opt).fields == run(raw).fields
+
+    def test_dead_code_eliminated_after_return(self):
+        raw, opt = compile_both(
+            "def f(packet):\n"
+            "    return 7\n"
+            "    packet.priority = 99\n")
+        assert total_ops(opt) < total_ops(raw)
+        assert run(opt).value == 7
+
+
+class TestDeadCodeElimination:
+    def test_unreachable_dropped_with_targets_remapped(self):
+        code = (
+            Instr(Op.JMP, 3),
+            Instr(Op.CONST, 111),   # dead
+            Instr(Op.POP),          # dead
+            Instr(Op.CONST, 5),
+            Instr(Op.RET),
+        )
+        fn = FunctionCode("f", 0, 0, code)
+        opt = optimize_function(fn)
+        assert len(opt.code) < len(code)
+        prog = Program("p", (opt,), (), ())
+        verify(prog)
+        assert Interpreter().execute(prog, [], []).value == 5
+
+
+FIXTURE_PROGRAMS = [
+    ("def f(packet, msg, _global):\n"
+     "    x = packet.size * 2 + 10 - 10\n"
+     "    msg.counter = x % 7\n"),
+    ("def f(packet, _global):\n"
+     "    total = 0\n"
+     "    for i in range(0, 8, 2):\n"
+     "        total += i * 3\n"
+     "    packet.queue_id = total\n"),
+    ("def f(packet):\n"
+     "    def helper(a, b):\n"
+     "        if a > b:\n"
+     "            return a - b\n"
+     "        return helper(a + 1, b)\n"
+     "    packet.queue_id = helper(0, 3)\n"),
+    ("def f(packet, _global):\n"
+     "    n = len(_global.weights)\n"
+     "    if n > 0 and _global.weights[0] > 5:\n"
+     "        packet.priority = 1 + 2 + 3\n"
+     "    else:\n"
+     "        packet.priority = 0 * 99\n"),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("source", FIXTURE_PROGRAMS)
+    @settings(max_examples=25, deadline=None)
+    @given(size=st.integers(0, 10_000),
+           counter=st.integers(-100, 100),
+           weights=st.lists(st.integers(-50, 50), max_size=8))
+    def test_optimized_equals_unoptimized(self, source, size,
+                                          counter, weights):
+        raw, opt = compile_both(source)
+        fields = {("packet", "size"): size,
+                  ("message", "counter"): counter}
+        arrays = {("global", "weights"): weights}
+        res_raw = run(raw, fields, arrays)
+        res_opt = run(opt, fields, arrays)
+        assert res_raw.fields == res_opt.fields
+        assert res_raw.arrays == res_opt.arrays
+        assert res_raw.value == res_opt.value
+
+    @pytest.mark.parametrize("source", FIXTURE_PROGRAMS)
+    def test_never_grows_code(self, source):
+        raw, opt = compile_both(source)
+        assert total_ops(opt) <= total_ops(raw)
+
+    @pytest.mark.parametrize("source", FIXTURE_PROGRAMS)
+    def test_idempotent(self, source):
+        _, opt = compile_both(source)
+        again = optimize_program(opt)
+        assert [f.code for f in again.functions] == \
+            [f.code for f in opt.functions]

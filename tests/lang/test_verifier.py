@@ -1,0 +1,143 @@
+"""Tests for static bytecode verification."""
+
+import pytest
+
+from repro.lang import Op, VerificationError, verify
+from repro.lang.bytecode import (ArrayRef, FieldRef, FunctionCode,
+                                 Instr, Program)
+
+from conftest import Harness
+
+FIELDS = (FieldRef("packet", "priority", True),
+          FieldRef("packet", "size", False))
+ARRAYS = (ArrayRef("global", "weights", 1, False),)
+
+
+def make_program(code, n_locals=2, functions_extra=()):
+    fns = (FunctionCode("f", 0, n_locals, tuple(code)),) + \
+        tuple(functions_extra)
+    return Program(name="p", functions=fns, field_table=FIELDS,
+                   array_table=ARRAYS)
+
+
+class TestStructuralChecks:
+    def test_valid_program_passes(self):
+        prog = make_program([Instr(Op.CONST, 1), Instr(Op.RET)])
+        assert verify(prog) >= 1
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(VerificationError, match="empty"):
+            verify(make_program([]))
+
+    def test_jump_out_of_range_rejected(self):
+        with pytest.raises(VerificationError, match="jump target"):
+            verify(make_program([Instr(Op.JMP, 99),
+                                 Instr(Op.CONST, 0),
+                                 Instr(Op.RET)]))
+
+    def test_field_index_out_of_range_rejected(self):
+        with pytest.raises(VerificationError, match="field index"):
+            verify(make_program([Instr(Op.GETF, 7), Instr(Op.RET)]))
+
+    def test_write_to_readonly_field_rejected(self):
+        with pytest.raises(VerificationError, match="read-only"):
+            verify(make_program([Instr(Op.CONST, 1),
+                                 Instr(Op.PUTF, 1),
+                                 Instr(Op.CONST, 0),
+                                 Instr(Op.RET)]))
+
+    def test_array_index_out_of_range_rejected(self):
+        with pytest.raises(VerificationError, match="array index"):
+            verify(make_program([Instr(Op.ABASE, 3), Instr(Op.RET)]))
+
+    def test_call_target_out_of_range_rejected(self):
+        with pytest.raises(VerificationError, match="call target"):
+            verify(make_program([Instr(Op.CALL, 5),
+                                 Instr(Op.RET)]))
+
+    def test_local_slot_out_of_range_rejected(self):
+        with pytest.raises(VerificationError, match="local slot"):
+            verify(make_program([Instr(Op.LOAD, 9), Instr(Op.RET)]))
+
+
+class TestStackDiscipline:
+    def test_underflow_rejected(self):
+        with pytest.raises(VerificationError, match="underflow"):
+            verify(make_program([Instr(Op.ADD), Instr(Op.RET)]))
+
+    def test_ret_needs_value(self):
+        with pytest.raises(VerificationError, match="RET"):
+            verify(make_program([Instr(Op.RET)]))
+
+    def test_fallthrough_off_end_rejected(self):
+        with pytest.raises(VerificationError, match="fall off"):
+            verify(make_program([Instr(Op.CONST, 1)]))
+
+    def test_inconsistent_merge_depth_rejected(self):
+        # One path pushes a value before the merge point, the other
+        # does not.
+        code = [
+            Instr(Op.CONST, 1),     # 0
+            Instr(Op.JZ, 3),        # 1: depth 0 at 3 via this edge
+            Instr(Op.CONST, 5),     # 2: depth 1 at 3 via fallthrough
+            Instr(Op.CONST, 9),     # 3: merge point
+            Instr(Op.RET),
+        ]
+        with pytest.raises(VerificationError, match="merge"):
+            verify(make_program(code))
+
+    def test_reports_max_depth(self):
+        prog = make_program([
+            Instr(Op.CONST, 1), Instr(Op.CONST, 2),
+            Instr(Op.CONST, 3), Instr(Op.ADD), Instr(Op.ADD),
+            Instr(Op.RET)])
+        assert verify(prog) == 3
+
+    def test_max_depth_limit_enforced(self):
+        prog = make_program([
+            Instr(Op.CONST, 1), Instr(Op.CONST, 2),
+            Instr(Op.CONST, 3), Instr(Op.ADD), Instr(Op.ADD),
+            Instr(Op.RET)])
+        with pytest.raises(VerificationError, match="exceeds limit"):
+            verify(prog, max_operand_stack=2)
+
+    def test_call_effect_uses_callee_arity(self):
+        helper = FunctionCode("g", 2, 2,
+                              (Instr(Op.CONST, 0), Instr(Op.RET)))
+        code = [Instr(Op.CONST, 1), Instr(Op.CONST, 2),
+                Instr(Op.CALL, 1), Instr(Op.RET)]
+        prog = make_program(code, functions_extra=(helper,))
+        assert verify(prog) >= 2
+
+    def test_call_underflow_rejected(self):
+        helper = FunctionCode("g", 2, 2,
+                              (Instr(Op.CONST, 0), Instr(Op.RET)))
+        code = [Instr(Op.CONST, 1), Instr(Op.CALL, 1),
+                Instr(Op.RET)]
+        with pytest.raises(VerificationError, match="underflow"):
+            verify(make_program(code, functions_extra=(helper,)))
+
+
+class TestCompilerOutputAlwaysVerifies:
+    SOURCES = [
+        "def f(packet):\n    packet.priority = 1\n",
+        ("def f(packet):\n"
+         "    for i in range(10):\n"
+         "        if i == 3:\n"
+         "            break\n"
+         "        packet.priority = i\n"),
+        ("def f(packet, msg, _global):\n"
+         "    def search(i):\n"
+         "        if i >= len(_global.records):\n"
+         "            return 0\n"
+         "        return search(i + 1)\n"
+         "    msg.counter = search(0)\n"),
+        ("def f(packet):\n"
+         "    x = 1 if packet.size > 0 and packet.size < 99 else 0\n"
+         "    packet.priority = x\n"),
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_verifies(self, source):
+        h = Harness(source)  # Harness calls verify()
+        assert h.program is not None

@@ -1,0 +1,79 @@
+"""Tests for the Host device."""
+
+import pytest
+
+from repro.netsim import GBPS, MS, Packet, Simulator, star
+from repro.netsim.host import Host
+from repro.stack import HostStack
+
+
+class TestHost:
+    def test_bind_stack_twice_rejected(self):
+        sim = Simulator()
+        host = Host(sim, "h", ip=1)
+        HostStack(sim, host)
+        with pytest.raises(RuntimeError, match="already has a stack"):
+            HostStack(sim, host)
+
+    def test_rx_counter(self):
+        sim = Simulator(seed=1)
+        net = star(sim, 2)
+        s1 = HostStack(sim, net.hosts["h1"])
+        s2 = HostStack(sim, net.hosts["h2"])
+        s2.listen(80, lambda c: None)
+        s1.connect(net.host_ip("h2"), 80)
+        sim.run(until_ns=5 * MS)
+        assert net.hosts["h2"].rx_packets > 0
+        assert net.hosts["h1"].rx_packets > 0  # SYN-ACK came back
+
+    def test_stackless_host_swallows_packets(self):
+        sim = Simulator()
+        host = Host(sim, "h", ip=5)
+        packet = Packet(src_ip=1, dst_ip=5, src_port=1, dst_port=2)
+        host.receive(packet, None)  # no stack bound: counted, dropped
+        assert host.rx_packets == 1
+
+    def test_repr(self):
+        sim = Simulator()
+        host = Host(sim, "worker-1", ip=9)
+        assert "worker-1" in repr(host)
+
+
+class TestDynamicThresholdUpdate:
+    def test_pias_thresholds_updated_mid_run(self):
+        """Section 2.1.3: thresholds are recalculated periodically.
+        The controller push must take effect on in-flight traffic
+        without reinstalling the function."""
+        from repro.core import Controller, Enclave
+        from repro.core.stage import Classification
+        from repro.functions.pias import (FlowSchedulingDeployment)
+
+        controller = Controller()
+        enclave = Enclave("h1.enclave")
+        controller.register_enclave("h1", enclave)
+        deployment = FlowSchedulingDeployment(controller, "pias")
+        deployment.install(["h1"], [(10_000, 7), (1 << 50, 5)])
+
+        class Pkt:
+            def __init__(self):
+                self.src_ip, self.dst_ip = 1, 2
+                self.src_port, self.dst_port, self.proto = 9, 80, 6
+                self.size = 1000
+                self.priority = self.path_id = self.drop = 0
+                self.to_controller = self.queue_id = 0
+                self.charge = self.ecn = self.tenant = 0
+
+        cls = [Classification("a.r.m", {"msg_id": ("a", 1),
+                                        "priority": 7})]
+        # 5 KB into the message: still highest band.
+        for _ in range(5):
+            p = Pkt()
+            enclave.process_packet(p, cls)
+        assert p.priority == 7
+        # Controller tightens the first band to 2 KB: the same
+        # message immediately demotes.
+        deployment.update_thresholds(["h1"], [(2_000, 7),
+                                              (1 << 50, 5)])
+        q = Pkt()
+        enclave.process_packet(q, cls)
+        assert q.priority == 5

@@ -1,0 +1,137 @@
+"""Tests for ports and links: serialization, priorities, drops, ECN."""
+
+import pytest
+
+from repro.netsim import (GBPS, Packet, Port, SEC, Simulator,
+                          duplex_connect)
+from repro.netsim.switchdev import Device
+
+
+class Sink(Device):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, packet, from_port):
+        self.received.append((self.sim.now, packet))
+
+
+def make_packet(payload=1460, priority=0):
+    p = Packet(src_ip=1, dst_ip=2, src_port=1, dst_port=2,
+               payload_len=payload)
+    p.priority = priority
+    return p
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    sink = Sink(sim, "sink")
+    port = Port(sim, "p", rate_bps=1 * GBPS, prop_delay_ns=1000)
+    port.connect(sink)
+    return sim, port, sink
+
+
+class TestSerialization:
+    def test_delivery_time_is_tx_plus_propagation(self, rig):
+        sim, port, sink = rig
+        packet = make_packet(payload=1460)
+        port.enqueue(packet)
+        sim.run()
+        expected = packet.size * 8 * SEC // (1 * GBPS) + 1000
+        assert sink.received[0][0] == expected
+
+    def test_back_to_back_serialized(self, rig):
+        sim, port, sink = rig
+        for _ in range(3):
+            port.enqueue(make_packet())
+        sim.run()
+        times = [t for t, _ in sink.received]
+        tx = make_packet().size * 8 * SEC // (1 * GBPS)
+        assert times == [tx + 1000, 2 * tx + 1000, 3 * tx + 1000]
+
+    def test_utilization(self, rig):
+        sim, port, sink = rig
+        port.enqueue(make_packet())
+        sim.run()
+        tx = make_packet().size * 8 * SEC // (1 * GBPS)
+        assert port.stats.busy_ns == tx
+        assert 0 < port.utilization(2 * tx) <= 1.0
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Port(Simulator(), "bad", rate_bps=0)
+
+
+class TestPriorities:
+    def test_higher_pcp_served_first(self, rig):
+        sim, port, sink = rig
+        # First packet occupies the wire; the rest queue.
+        port.enqueue(make_packet(priority=0))
+        low = make_packet(priority=1)
+        high = make_packet(priority=7)
+        port.enqueue(low)
+        port.enqueue(high)
+        sim.run()
+        order = [p.priority for _, p in sink.received]
+        assert order == [0, 7, 1]
+
+    def test_priority_out_of_range_clamped(self, rig):
+        sim, port, sink = rig
+        packet = make_packet()
+        packet.priority = 99
+        port.enqueue(packet)
+        sim.run()
+        assert len(sink.received) == 1
+
+
+class TestDropsAndEcn:
+    def test_tail_drop_when_full(self):
+        sim = Simulator()
+        sink = Sink(sim, "sink")
+        port = Port(sim, "p", rate_bps=1 * GBPS,
+                    queue_capacity_bytes=4000)
+        port.connect(sink)
+        results = [port.enqueue(make_packet()) for _ in range(5)]
+        sim.run()
+        assert not all(results)
+        assert port.stats.drops >= 1
+        assert len(sink.received) + port.stats.drops == 5
+
+    def test_ecn_marking_over_threshold(self):
+        sim = Simulator()
+        sink = Sink(sim, "sink")
+        port = Port(sim, "p", rate_bps=1 * GBPS,
+                    queue_capacity_bytes=100_000,
+                    ecn_threshold_bytes=3000)
+        port.connect(sink)
+        for _ in range(5):
+            port.enqueue(make_packet())
+        sim.run()
+        marks = [p.ecn for _, p in sink.received]
+        assert any(marks) and not all(marks)
+        assert port.stats.ecn_marks == sum(marks)
+
+    def test_unconnected_port_rejected(self):
+        port = Port(Simulator(), "p", rate_bps=1 * GBPS)
+        with pytest.raises(RuntimeError):
+            port.enqueue(make_packet())
+
+
+class TestDuplexConnect:
+    def test_creates_both_directions(self):
+        sim = Simulator()
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        ab, ba = duplex_connect(sim, a, b, rate_bps=1 * GBPS)
+        assert a.port_to("b") is ab
+        assert b.port_to("a") is ba
+        ab.enqueue(make_packet())
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_port_to_unknown_neighbor(self):
+        sim = Simulator()
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        duplex_connect(sim, a, b, rate_bps=1 * GBPS)
+        with pytest.raises(KeyError, match="neighbors"):
+            a.port_to("zzz")

@@ -1,0 +1,88 @@
+"""Additional routing tests: richer fabrics and WCMP provisioning."""
+
+import pytest
+
+from repro.core import Controller
+from repro.netsim import (GBPS, Network, Simulator,
+                          install_l3_routes, simple_paths)
+from repro.netsim.routing import as_graph
+
+
+def leaf_spine(sim, n_leaves=2, n_spines=3, n_hosts_per_leaf=2,
+               leaf_spine_bps=40 * GBPS, host_bps=10 * GBPS):
+    """A small leaf-spine fabric."""
+    net = Network(sim)
+    for s in range(n_spines):
+        net.add_switch(f"spine{s}")
+    host_id = 1
+    for l in range(n_leaves):
+        leaf = f"leaf{l}"
+        net.add_switch(leaf)
+        for s in range(n_spines):
+            net.connect(leaf, f"spine{s}", leaf_spine_bps)
+        for _ in range(n_hosts_per_leaf):
+            name = f"h{host_id}"
+            net.add_host(name)
+            net.connect(name, leaf, host_bps)
+            host_id += 1
+    return net
+
+
+class TestLeafSpine:
+    def test_l3_routes_use_all_spines(self):
+        sim = Simulator(seed=2)
+        net = leaf_spine(sim)
+        install_l3_routes(net)
+        h3_ip = net.host_ip("h3")  # lives under leaf1
+        next_hops = net.switches["leaf0"].route_table[h3_ip]
+        assert next_hops == ["spine0", "spine1", "spine2"]
+
+    def test_cross_leaf_path_count(self):
+        sim = Simulator(seed=2)
+        net = leaf_spine(sim)
+        paths = simple_paths(net, "h1", "h3")
+        assert len(paths) == 3  # one per spine
+        for path, bottleneck in paths:
+            assert bottleneck == 10 * GBPS  # host links bound it
+
+    def test_same_leaf_single_path(self):
+        sim = Simulator(seed=2)
+        net = leaf_spine(sim)
+        paths = simple_paths(net, "h1", "h2", cutoff=2)
+        assert len(paths) == 1
+        assert paths[0][0] == ["h1", "leaf0", "h2"]
+
+    def test_graph_kinds(self):
+        sim = Simulator(seed=2)
+        net = leaf_spine(sim)
+        graph = as_graph(net)
+        assert graph.nodes["h1"]["kind"] == "host"
+        assert graph.nodes["spine0"]["kind"] == "switch"
+
+    def test_wcmp_weights_equal_on_symmetric_fabric(self):
+        sim = Simulator(seed=2)
+        net = leaf_spine(sim)
+        paths = simple_paths(net, "h1", "h3")
+        weights = Controller.wcmp_weights(
+            [(i + 1, float(b)) for i, (_, b) in enumerate(paths)])
+        values = [w.weight for w in weights]
+        assert max(values) - min(values) <= 1  # ECMP-like
+
+    def test_end_to_end_cross_leaf_transfer(self):
+        from repro.netsim import MS
+        from repro.stack import HostStack
+        sim = Simulator(seed=2)
+        net = leaf_spine(sim)
+        install_l3_routes(net)
+        s1 = HostStack(sim, net.hosts["h1"])
+        s3 = HostStack(sim, net.hosts["h3"])
+        got = []
+
+        def on_conn(conn):
+            conn.on_data = lambda c, n: got.append(n)
+
+        s3.listen(5000, on_conn)
+        conn = s1.connect(net.host_ip("h3"), 5000)
+        conn.message_send(100_000)
+        sim.run(until_ns=30 * MS)
+        assert got and got[-1] == 100_000

@@ -1,0 +1,108 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.netsim import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(30, log.append, "c")
+        sim.schedule(10, log.append, "a")
+        sim.schedule(20, log.append, "b")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for tag in ("x", "y", "z"):
+            sim.schedule(5, log.append, tag)
+        sim.run()
+        assert log == ["x", "y", "z"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42] and sim.now == 42
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_absolute_scheduling(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: sim.at(50, lambda: seen.append(
+            sim.now)))
+        sim.run()
+        assert seen == [50]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                sim.schedule(10, chain, n + 1)
+
+        sim.schedule(0, chain, 0)
+        sim.run()
+        assert log == [0, 1, 2, 3]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(10, log.append, "no")
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        e1 = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        e1.cancel()
+        assert sim.pending == 1
+
+
+class TestRunBounds:
+    def test_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10, log.append, "early")
+        sim.schedule(100, log.append, "late")
+        sim.run(until_ns=50)
+        assert log == ["early"] and sim.now == 50
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(i + 1, log.append, i)
+        processed = sim.run(max_events=2)
+        assert processed == 2 and log == [0, 1]
+
+
+class TestDeterminism:
+    def test_same_seed_same_randoms(self):
+        a = Simulator(seed=7)
+        b = Simulator(seed=7)
+        assert [a.rng.random() for _ in range(5)] == \
+            [b.rng.random() for _ in range(5)]
+
+    def test_clock_callable(self):
+        sim = Simulator()
+        sim.schedule(33, lambda: None)
+        sim.run()
+        assert sim.clock() == 33

@@ -1,0 +1,118 @@
+"""Tests for switches: label forwarding, L3 routing, ECMP."""
+
+import pytest
+
+from repro.netsim import GBPS, Packet, Simulator, flow_hash
+from repro.netsim.switchdev import Switch
+from repro.netsim.link import duplex_connect
+
+from test_link import Sink, make_packet
+
+
+@pytest.fixture
+def fabric():
+    """One switch with three attached sinks."""
+    sim = Simulator(seed=3)
+    switch = Switch(sim, "sw")
+    sinks = {}
+    for name in ("a", "b", "c"):
+        sink = Sink(sim, name)
+        duplex_connect(sim, switch, sink, rate_bps=10 * GBPS)
+        sinks[name] = sink
+    return sim, switch, sinks
+
+
+class TestLabelForwarding:
+    def test_label_overrides_routing(self, fabric):
+        sim, switch, sinks = fabric
+        switch.install_route(2, ["a"])
+        switch.install_label(5, "b")
+        packet = make_packet()
+        packet.path_id = 5
+        switch.receive(packet, None)
+        sim.run()
+        assert len(sinks["b"].received) == 1
+        assert len(sinks["a"].received) == 0
+
+    def test_unknown_label_falls_back_to_route(self, fabric):
+        sim, switch, sinks = fabric
+        switch.install_route(2, ["a"])
+        packet = make_packet()
+        packet.path_id = 99
+        switch.receive(packet, None)
+        sim.run()
+        assert len(sinks["a"].received) == 1
+
+    def test_label_zero_reserved(self, fabric):
+        _, switch, _ = fabric
+        with pytest.raises(ValueError):
+            switch.install_label(0, "a")
+
+    def test_remove_label(self, fabric):
+        sim, switch, sinks = fabric
+        switch.install_route(2, ["a"])
+        switch.install_label(5, "b")
+        switch.remove_label(5)
+        packet = make_packet()
+        packet.path_id = 5
+        switch.receive(packet, None)
+        sim.run()
+        assert len(sinks["a"].received) == 1
+
+
+class TestL3AndEcmp:
+    def test_single_next_hop(self, fabric):
+        sim, switch, sinks = fabric
+        switch.install_route(2, ["c"])
+        switch.receive(make_packet(), None)
+        sim.run()
+        assert len(sinks["c"].received) == 1
+
+    def test_no_route_drops(self, fabric):
+        sim, switch, sinks = fabric
+        switch.receive(make_packet(), None)
+        sim.run()
+        assert switch.no_route_drops == 1
+        assert all(len(s.received) == 0 for s in sinks.values())
+
+    def test_empty_route_rejected(self, fabric):
+        _, switch, _ = fabric
+        with pytest.raises(ValueError):
+            switch.install_route(2, [])
+
+    def test_ecmp_flow_stickiness(self, fabric):
+        sim, switch, sinks = fabric
+        switch.install_route(2, ["a", "b"])
+        for _ in range(10):
+            switch.receive(make_packet(), None)  # same five-tuple
+        sim.run()
+        counts = {n: len(s.received) for n, s in sinks.items()}
+        assert sorted(counts.values(), reverse=True)[:2] == [10, 0]
+
+    def test_ecmp_spreads_across_flows(self, fabric):
+        sim, switch, sinks = fabric
+        switch.install_route(2, ["a", "b"])
+        for sport in range(64):
+            p = Packet(src_ip=1, dst_ip=2, src_port=sport,
+                       dst_port=80, payload_len=100)
+            switch.receive(p, None)
+        sim.run()
+        assert len(sinks["a"].received) > 10
+        assert len(sinks["b"].received) > 10
+
+
+class TestFlowHash:
+    def test_deterministic(self):
+        t = (1, 2, 3, 4, 5)
+        assert flow_hash(t, 42) == flow_hash(t, 42)
+
+    def test_salt_changes_hash(self):
+        t = (1, 2, 3, 4, 5)
+        values = {flow_hash(t, salt) for salt in range(16)}
+        assert len(values) > 1
+
+    def test_distribution_roughly_uniform(self):
+        buckets = [0, 0]
+        for sport in range(1000):
+            buckets[flow_hash((1, sport, 2, 80, 6), 7) % 2] += 1
+        assert 350 < buckets[0] < 650

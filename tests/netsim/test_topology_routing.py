@@ -1,0 +1,148 @@
+"""Tests for topology builders and route/label computation."""
+
+import pytest
+
+from repro.netsim import (GBPS, Network, PATH_FAST, PATH_SLOW,
+                          Simulator, TopologyError,
+                          asymmetric_two_path, install_l3_routes,
+                          install_path_labels, provision_labeled_paths,
+                          simple_paths, star)
+from repro.stack import HostStack
+
+
+class TestNetwork:
+    def test_duplicate_names_rejected(self):
+        net = Network(Simulator())
+        net.add_host("x")
+        with pytest.raises(TopologyError):
+            net.add_switch("x")
+
+    def test_unique_ips(self):
+        net = Network(Simulator())
+        ips = {net.add_host(f"h{i}").ip for i in range(10)}
+        assert len(ips) == 10
+
+    def test_adjacency(self):
+        net = Network(Simulator())
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", 1 * GBPS)
+        adj = net.adjacency()
+        assert ("b", 1 * GBPS) in adj["a"]
+        assert ("a", 1 * GBPS) in adj["b"]
+
+    def test_unknown_device_rejected(self):
+        net = Network(Simulator())
+        with pytest.raises(TopologyError):
+            net.device("ghost")
+
+
+class TestStar:
+    def test_structure(self):
+        net = star(Simulator(), 4)
+        assert set(net.hosts) == {"h1", "h2", "h3", "h4"}
+        assert set(net.switches) == {"tor"}
+        assert len(net.links) == 4
+
+    def test_routes_installed(self):
+        net = star(Simulator(), 3)
+        tor = net.switches["tor"]
+        for name, host in net.hosts.items():
+            assert tor.route_table[host.ip] == [name]
+
+    def test_per_host_rates(self):
+        net = star(Simulator(), 3, host_rate_bps=10 * GBPS,
+                   host_rates={"h3": 1 * GBPS})
+        rates = {(a, b): r for a, b, r in net.links}
+        assert rates[("h3", "tor")] == 1 * GBPS
+        assert rates[("h1", "tor")] == 10 * GBPS
+
+    def test_needs_two_hosts(self):
+        with pytest.raises(TopologyError):
+            star(Simulator(), 1)
+
+
+class TestAsymmetricTwoPath:
+    def test_structure(self):
+        net = asymmetric_two_path(Simulator())
+        assert set(net.hosts) == {"h1", "h2"}
+        assert set(net.switches) == {"sfast", "sslow"}
+
+    def test_end_to_end_delivery(self):
+        sim = Simulator()
+        net = asymmetric_two_path(sim)
+        s1 = HostStack(sim, net.hosts["h1"])
+        s2 = HostStack(sim, net.hosts["h2"])
+        got = []
+
+        def on_conn(conn):
+            conn.on_data = lambda c, n: got.append(n)
+
+        s2.listen(1234, on_conn)
+        conn = s1.connect(net.host_ip("h2"), 1234)
+        conn.on_established = lambda c: c.message_send(5000)
+        sim.run(until_ns=50_000_000)
+        assert got and got[-1] == 5000
+
+
+class TestPathComputation:
+    def test_simple_paths_sorted_by_capacity(self):
+        net = asymmetric_two_path(Simulator())
+        paths = simple_paths(net, "h1", "h2")
+        assert len(paths) == 2
+        (fast_path, fast_bn), (slow_path, slow_bn) = paths
+        assert fast_bn == 10 * GBPS and slow_bn == 1 * GBPS
+        assert "sfast" in fast_path and "sslow" in slow_path
+
+    def test_paths_through_hosts_excluded(self):
+        sim = Simulator()
+        net = Network(sim)
+        for name in ("h1", "h2", "h3"):
+            net.add_host(name)
+        net.add_switch("s")
+        net.connect("h1", "s", GBPS)
+        net.connect("h2", "s", GBPS)
+        net.connect("h1", "h3", GBPS)
+        net.connect("h3", "h2", GBPS)
+        paths = simple_paths(net, "h1", "h2")
+        assert len(paths) == 1
+        assert paths[0][0] == ["h1", "s", "h2"]
+
+    def test_install_path_labels(self):
+        net = asymmetric_two_path(Simulator())
+        install_path_labels(net, 7, ["h1", "sfast", "h2"])
+        assert net.switches["sfast"].label_table[7] == "h2"
+        assert 7 not in net.switches["sslow"].label_table
+
+    def test_provision_fills_port_map(self):
+        sim = Simulator()
+        net = asymmetric_two_path(sim)
+        stack = HostStack(sim, net.hosts["h1"])
+        rows = provision_labeled_paths(net, "h1", "h2")
+        assert len(rows) == 2
+        labels = {label for label, _, _ in rows}
+        assert labels == {1, 2}
+        assert set(stack.path_port_map) == {1, 2}
+        # Fastest path gets the first label.
+        assert stack.path_port_map[1] == "sfast"
+
+
+class TestL3Routes:
+    def test_ecmp_next_hops_on_parallel_fabric(self):
+        sim = Simulator()
+        net = Network(sim)
+        net.add_host("h1")
+        net.add_host("h2")
+        for s in ("tor1", "tor2", "spine1", "spine2"):
+            net.add_switch(s)
+        net.connect("h1", "tor1", GBPS)
+        net.connect("h2", "tor2", GBPS)
+        for spine in ("spine1", "spine2"):
+            net.connect("tor1", spine, GBPS)
+            net.connect(spine, "tor2", GBPS)
+        install_l3_routes(net)
+        h2_ip = net.host_ip("h2")
+        assert net.switches["tor1"].route_table[h2_ip] == \
+            ["spine1", "spine2"]
+        assert net.switches["spine1"].route_table[h2_ip] == ["tor2"]
+        assert net.switches["tor2"].route_table[h2_ip] == ["h2"]

@@ -1,0 +1,102 @@
+"""Tests for measurement helpers."""
+
+import pytest
+
+from repro.netsim import (FlowTracker, SEC, SeriesStats,
+                          ThroughputMeter, mean, percentile)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 95) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_p95_of_hundred(self):
+        values = list(range(1, 101))
+        assert percentile(values, 95) == 95 or \
+            percentile(values, 95) == 96
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+
+class TestFlowTracker:
+    def test_record_and_fct(self):
+        t = FlowTracker()
+        rec = t.record("f1", 5000, 1000, 3000)
+        assert rec.fct_ns == 2000
+        assert rec.fct_us == 2.0
+        assert len(t) == 1
+
+    def test_filter_by_size(self):
+        t = FlowTracker()
+        t.record("small", 1_000, 0, 10)
+        t.record("mid", 100_000, 0, 20)
+        t.record("big", 10_000_000, 0, 30)
+        small = t.filtered(max_size=10_000)
+        mid = t.filtered(min_size=10_000, max_size=1_000_000)
+        assert [r.flow_id for r in small] == ["small"]
+        assert [r.flow_id for r in mid] == ["mid"]
+
+    def test_filter_by_kind(self):
+        t = FlowTracker()
+        t.record("a", 10, 0, 1, kind="request")
+        t.record("b", 10, 0, 1, kind="bulk")
+        assert len(t.filtered(kind="request")) == 1
+
+    def test_summary(self):
+        t = FlowTracker()
+        for fct in (1000, 2000, 3000):
+            t.record("f", 100, 0, fct)
+        avg, p95, n = t.fct_summary_us()
+        assert avg == 2.0 and n == 3
+
+
+class TestThroughputMeter:
+    def test_simple_rate(self):
+        m = ThroughputMeter()
+        m.add(125_000, 0)           # 1 Mbit
+        m.add(125_000, SEC)         # after 1 s
+        assert m.mbps(0, SEC) == pytest.approx(2.0)
+
+    def test_windowing_excludes_outside_samples(self):
+        m = ThroughputMeter()
+        m.add(1_000_000, 0)             # before window
+        m.add(125_000, 2 * SEC)
+        m.add(125_000, 3 * SEC)
+        mbps = m.mbps(SEC, 3 * SEC)
+        assert mbps == pytest.approx(1.0)
+
+    def test_empty_meter(self):
+        assert ThroughputMeter().mbps() == 0.0
+
+    def test_mbytes(self):
+        m = ThroughputMeter()
+        m.add(1_000_000, 0)
+        m.add(1_000_000, SEC)
+        assert m.mbytes_per_s(0, SEC) == pytest.approx(2.0 / 8 * 8)
+
+
+class TestSeriesStats:
+    def test_mean_and_ci(self):
+        s = SeriesStats("x")
+        for v in (10.0, 12.0, 8.0, 10.0):
+            s.add(v)
+        assert s.mean == 10.0
+        assert s.ci95 > 0
+
+    def test_single_sample_no_ci(self):
+        s = SeriesStats("x")
+        s.add(5.0)
+        assert s.ci95 == 0.0
+
+    def test_str(self):
+        s = SeriesStats("lbl")
+        s.add(1.0)
+        assert "lbl" in str(s)

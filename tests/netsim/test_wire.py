@@ -1,0 +1,121 @@
+"""Tests for the wire format (header-map annotations made real)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import Packet, WireFormatError
+from repro.netsim.packet import (FLAG_ACK, FLAG_FIN, FLAG_SYN,
+                                 HEADER_BYTES)
+from repro.netsim.wire import (decode, encode,
+                               header_roundtrip_fields,
+                               ipv4_checksum)
+
+
+def make_packet(**kw):
+    p = Packet(src_ip=kw.pop("src_ip", 0x0A000001),
+               dst_ip=kw.pop("dst_ip", 0x0A000002),
+               src_port=kw.pop("src_port", 40001),
+               dst_port=kw.pop("dst_port", 80),
+               payload_len=kw.pop("payload_len", 100),
+               seq=kw.pop("seq", 12345),
+               ack=kw.pop("ack", 999),
+               flags=kw.pop("flags", FLAG_ACK))
+    for name, value in kw.items():
+        setattr(p, name, value)
+    return p
+
+
+class TestRoundtrip:
+    def test_basic_fields(self):
+        original = make_packet(priority=5, path_id=42, ecn=1)
+        decoded = decode(encode(original))
+        for name in header_roundtrip_fields():
+            assert getattr(decoded, name) == getattr(original, name), \
+                name
+
+    def test_flags(self):
+        for flags in (FLAG_SYN, FLAG_SYN | FLAG_ACK, FLAG_FIN |
+                      FLAG_ACK, FLAG_ACK):
+            decoded = decode(encode(make_packet(flags=flags)))
+            assert decoded.flags == flags
+
+    def test_sack_blocks(self):
+        original = make_packet()
+        original.sack = ((100, 200), (500, 900))
+        decoded = decode(encode(original))
+        assert decoded.sack == ((100, 200), (500, 900))
+
+    def test_size_matches_total_length_mapping(self):
+        # Figure 8: packet.size maps to ipv4.total_length.
+        original = make_packet(payload_len=777)
+        decoded = decode(encode(original))
+        assert decoded.size == 777 + HEADER_BYTES
+
+    def test_priority_occupies_pcp_bits(self):
+        frame = encode(make_packet(priority=7, path_id=0))
+        tci = (frame[14] << 8) | frame[15]
+        assert tci >> 13 == 7
+
+    def test_path_id_occupies_vlan_id_bits(self):
+        frame = encode(make_packet(priority=0, path_id=0xABC))
+        tci = (frame[14] << 8) | frame[15]
+        assert tci & 0x0FFF == 0xABC
+
+
+class TestValidation:
+    def test_truncated_frame_rejected(self):
+        frame = encode(make_packet())
+        with pytest.raises(WireFormatError):
+            decode(frame[:20])
+
+    def test_corrupted_checksum_rejected(self):
+        frame = bytearray(encode(make_packet()))
+        frame[30] ^= 0xFF  # inside the IPv4 header
+        with pytest.raises(WireFormatError):
+            decode(bytes(frame))
+
+    def test_non_vlan_frame_rejected(self):
+        frame = bytearray(encode(make_packet()))
+        frame[12] = 0x08
+        frame[13] = 0x00  # plain IPv4 ethertype, no 802.1q tag
+        with pytest.raises(WireFormatError, match="VLAN"):
+            decode(bytes(frame))
+
+    def test_checksum_algorithm(self):
+        # RFC 1071 worked example.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert ipv4_checksum(data) == 0x220D
+
+
+class TestRoundtripProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(src_ip=st.integers(0, 2**32 - 1),
+           dst_ip=st.integers(0, 2**32 - 1),
+           src_port=st.integers(0, 2**16 - 1),
+           dst_port=st.integers(0, 2**16 - 1),
+           payload_len=st.integers(0, 1460),
+           seq=st.integers(0, 2**32 - 1),
+           ack=st.integers(0, 2**32 - 1),
+           priority=st.integers(0, 7),
+           path_id=st.integers(0, 0x0FFF),
+           ecn=st.integers(0, 1),
+           flags=st.sampled_from([FLAG_ACK, FLAG_SYN,
+                                  FLAG_SYN | FLAG_ACK,
+                                  FLAG_FIN | FLAG_ACK]),
+           sack=st.lists(st.tuples(st.integers(0, 2**32),
+                                   st.integers(0, 2**32)),
+                         max_size=4))
+    def test_encode_decode_identity(self, src_ip, dst_ip, src_port,
+                                    dst_port, payload_len, seq, ack,
+                                    priority, path_id, ecn, flags,
+                                    sack):
+        original = make_packet(
+            src_ip=src_ip, dst_ip=dst_ip, src_port=src_port,
+            dst_port=dst_port, payload_len=payload_len, seq=seq,
+            ack=ack, flags=flags, priority=priority,
+            path_id=path_id, ecn=ecn)
+        original.sack = tuple(sack)
+        decoded = decode(encode(original))
+        for name in header_roundtrip_fields():
+            assert getattr(decoded, name) == \
+                getattr(original, name), name

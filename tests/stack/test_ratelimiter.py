@@ -1,0 +1,138 @@
+"""Tests for token-bucket rate limiting (Pulsar's queues)."""
+
+import pytest
+
+from repro.netsim import MS, Packet, SEC, Simulator
+from repro.stack import RateLimitedQueue, RateLimiterBank
+
+
+def make_packet(payload=1460, queue_id=0, charge=0):
+    p = Packet(src_ip=1, dst_ip=2, src_port=1, dst_port=2,
+               payload_len=payload)
+    p.queue_id = queue_id
+    p.charge = charge
+    return p
+
+
+class TestRateLimitedQueue:
+    def test_burst_passes_immediately(self):
+        sim = Simulator()
+        out = []
+        q = RateLimitedQueue(sim, "q", rate_bps=1_000_000,
+                             burst_bytes=10_000, forward=out.append)
+        q.submit(make_packet(1000))
+        assert len(out) == 1  # forwarded synchronously from burst
+
+    def test_rate_enforced_over_time(self):
+        sim = Simulator()
+        out = []
+        q = RateLimitedQueue(sim, "q", rate_bps=8_000_000,  # 1 MB/s
+                             burst_bytes=1600,
+                             forward=lambda p: out.append(sim.now))
+        for _ in range(11):
+            q.submit(make_packet(946))  # 1000 B on the wire
+        sim.run()
+        # After the burst (1 packet), ~1 packet per ms.
+        assert len(out) == 11
+        elapsed = out[-1] - out[0]
+        assert 9 * MS <= elapsed <= 12 * MS
+
+    def test_charge_override(self):
+        # A tiny packet charged as a huge op drains the bucket.
+        sim = Simulator()
+        out = []
+        q = RateLimitedQueue(sim, "q", rate_bps=8_000_000,
+                             burst_bytes=70_000, forward=out.append)
+        q.submit(make_packet(100, charge=65536))
+        q.submit(make_packet(100, charge=65536))
+        assert len(out) == 1  # second must wait for refill
+        sim.run()
+        assert len(out) == 2
+        assert q.charged_bytes == 2 * 65536
+
+    def test_overflow_drops(self):
+        sim = Simulator()
+        q = RateLimitedQueue(sim, "q", rate_bps=1000,
+                             burst_bytes=2000,
+                             forward=lambda p: None,
+                             max_queue_bytes=2000)
+        results = [q.submit(make_packet(946)) for _ in range(5)]
+        assert not all(results)
+        assert q.dropped >= 1
+
+    def test_charge_above_burst_dropped_not_wedged(self):
+        # A charge larger than the bucket can never pass: it must be
+        # dropped, not left blocking the queue forever.
+        sim = Simulator()
+        out = []
+        q = RateLimitedQueue(sim, "q", rate_bps=8_000_000,
+                             burst_bytes=1000, forward=out.append)
+        q.submit(make_packet(100, charge=50_000))
+        q.submit(make_packet(100, charge=500))
+        sim.run()
+        assert len(out) == 1
+        assert q.dropped == 1
+
+    def test_set_rate_takes_effect(self):
+        sim = Simulator()
+        out = []
+        q = RateLimitedQueue(sim, "q", rate_bps=8_000,
+                             burst_bytes=1200,
+                             forward=lambda p: out.append(sim.now))
+        q.submit(make_packet(1460))  # 1514 B > burst tokens... 
+        q.submit(make_packet(946))
+        q.set_rate(8_000_000_000)
+        sim.run()
+        assert out and out[0] < 10 * MS
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimitedQueue(Simulator(), "q", rate_bps=0,
+                             burst_bytes=1, forward=lambda p: None)
+
+    def test_backlog_reported(self):
+        sim = Simulator()
+        q = RateLimitedQueue(sim, "q", rate_bps=8, burst_bytes=1500,
+                             forward=lambda p: None)
+        q.submit(make_packet(946))
+        q.submit(make_packet(946))
+        assert q.backlog_bytes == 1000  # second packet still queued
+
+
+class TestRateLimiterBank:
+    def test_queue_zero_passes_through(self):
+        sim = Simulator()
+        out = []
+        bank = RateLimiterBank(sim, out.append)
+        bank.submit(make_packet(queue_id=0))
+        assert len(out) == 1
+
+    def test_unknown_queue_passes_through(self):
+        sim = Simulator()
+        out = []
+        bank = RateLimiterBank(sim, out.append)
+        bank.submit(make_packet(queue_id=42))
+        assert len(out) == 1
+
+    def test_configured_queue_limits(self):
+        sim = Simulator()
+        out = []
+        bank = RateLimiterBank(sim, lambda p: out.append(sim.now))
+        bank.configure(1, rate_bps=8_000_000, burst_bytes=1600)
+        for _ in range(4):
+            bank.submit(make_packet(946, queue_id=1))
+        sim.run()
+        assert out[-1] - out[0] >= 2 * MS
+
+    def test_configure_zero_rejected(self):
+        bank = RateLimiterBank(Simulator(), lambda p: None)
+        with pytest.raises(ValueError):
+            bank.configure(0, rate_bps=100)
+
+    def test_reconfigure_updates_rate(self):
+        sim = Simulator()
+        bank = RateLimiterBank(sim, lambda p: None)
+        q1 = bank.configure(1, rate_bps=1000)
+        q2 = bank.configure(1, rate_bps=5000)
+        assert q1 is q2
+        assert q1.rate_bps == 5000

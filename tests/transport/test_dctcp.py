@@ -1,0 +1,116 @@
+"""Tests for the DCTCP extension (ECN-proportional backoff)."""
+
+import pytest
+
+from repro.netsim import GBPS, MS, Simulator
+from repro.netsim.packet import MSS
+from repro.netsim.topology import Network
+from repro.stack import HostStack
+
+
+def build_ecn_rig(seed=12, ecn_threshold=30_000,
+                  bottleneck_bps=1 * GBPS):
+    """Two hosts over one switch whose egress marks ECN."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    net.add_host("h1")
+    net.add_host("h2")
+    net.add_switch("sw")
+    net.connect("h1", "sw", 10 * GBPS)
+    net.connect("sw", "h2", bottleneck_bps,
+                ecn_threshold_bytes=ecn_threshold)
+    net.switches["sw"].install_route(net.host_ip("h1"), ["h1"])
+    net.switches["sw"].install_route(net.host_ip("h2"), ["h2"])
+    s1 = HostStack(sim, net.hosts["h1"])
+    s2 = HostStack(sim, net.hosts["h2"])
+    return sim, net, s1, s2
+
+
+def run_flow(sim, net, s1, s2, dctcp, duration_ms=60,
+             chunk=3_000_000):
+    delivered = {}
+
+    def on_conn(conn):
+        conn.on_data = lambda c, n: delivered.__setitem__("n", n)
+
+    s2.listen(5000, on_conn)
+    conn = s1.connect(net.host_ip("h2"), 5000)
+    if dctcp:
+        conn.enable_dctcp()
+
+    def refill(record, now):
+        conn.message_send(chunk, on_complete=refill)
+
+    conn.on_established = lambda c: c.message_send(
+        chunk, on_complete=refill)
+    sim.run(until_ns=duration_ms * MS)
+    return conn, delivered.get("n", 0)
+
+
+class TestDctcp:
+    def test_alpha_tracks_marking(self):
+        sim, net, s1, s2 = build_ecn_rig()
+        conn, delivered = run_flow(sim, net, s1, s2, dctcp=True)
+        assert delivered > 1_000_000
+        assert conn.dctcp_alpha > 0  # marks observed and averaged
+
+    def test_dctcp_keeps_queue_shorter(self):
+        """The point of DCTCP: ECN-proportional backoff holds the
+        bottleneck queue near the marking threshold instead of
+        filling the buffer."""
+        results = {}
+        for dctcp in (False, True):
+            sim, net, s1, s2 = build_ecn_rig(seed=13)
+            port = net.switches["sw"].port_to("h2")
+            samples = []
+
+            def probe():
+                samples.append(port.queued_bytes)
+                if sim.now < 60 * MS:
+                    sim.schedule(500_000, probe)
+
+            sim.schedule(5_000_000, probe)
+            conn, delivered = run_flow(sim, net, s1, s2,
+                                       dctcp=dctcp)
+            avg_queue = sum(samples) / max(1, len(samples))
+            results[dctcp] = (avg_queue, delivered,
+                              port.stats.drops)
+        assert results[True][0] < results[False][0]
+
+    def test_throughput_not_sacrificed(self):
+        sim, net, s1, s2 = build_ecn_rig(seed=14)
+        conn, delivered = run_flow(sim, net, s1, s2, dctcp=True,
+                                   duration_ms=80)
+        # >= 70% of the 1 Gbps bottleneck over 80 ms.
+        assert delivered * 8 / (80e-3) > 0.7e9
+
+    def test_disabled_by_default(self):
+        sim, net, s1, s2 = build_ecn_rig(seed=15)
+        conn, _ = run_flow(sim, net, s1, s2, dctcp=False,
+                           duration_ms=20)
+        assert not conn.dctcp_enabled
+        assert conn.dctcp_alpha == 0.0
+
+    def test_no_ecn_no_reduction(self):
+        # DCTCP on a path that never marks behaves like plain TCP in
+        # the no-loss regime.
+        sim, net, s1, s2 = build_ecn_rig(seed=16,
+                                         ecn_threshold=10**9)
+        conn, delivered = run_flow(sim, net, s1, s2, dctcp=True,
+                                   duration_ms=30)
+        assert conn.dctcp_alpha == 0.0
+        assert delivered > 1_000_000
+
+    def test_receiver_echoes_marks(self):
+        sim, net, s1, s2 = build_ecn_rig(seed=17)
+        seen_echo = []
+        original = s2.send_packet
+
+        def spy(packet, pure_ack=False):
+            if pure_ack and packet.ecn:
+                seen_echo.append(packet.ack)
+            original(packet, pure_ack=pure_ack)
+
+        s2.send_packet = spy
+        run_flow(sim, net, s1, s2, dctcp=True, duration_ms=30)
+        assert seen_echo  # at least one mark echoed

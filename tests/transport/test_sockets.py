@@ -1,0 +1,115 @@
+"""Tests for the message socket (the paper's extended send, §4.2)."""
+
+import pytest
+
+from repro.core import Classifier
+from repro.core.stage import Stage
+from repro.netsim import GBPS, MS, Simulator, star
+from repro.stack import HostStack
+from repro.transport import MessageSocket
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator(seed=11)
+    net = star(sim, 2, host_rate_bps=10 * GBPS)
+    s1 = HostStack(sim, net.hosts["h1"])
+    s2 = HostStack(sim, net.hosts["h2"])
+    s2.listen(5000, lambda conn: None)
+    conn = s1.connect(net.host_ip("h2"), 5000)
+    return sim, conn
+
+
+def make_stage():
+    stage = Stage("app", ("msg_type",),
+                  ("msg_id", "msg_type", "msg_size", "priority"))
+    stage.create_stage_rule("r1", Classifier.of(msg_type="rpc"),
+                            "RPC", ["msg_id", "msg_size"])
+    stage.create_stage_rule("r1", Classifier.of(), "OTHER",
+                            ["msg_id"])
+    return stage
+
+
+class TestMessageSocket:
+    def test_send_classifies_through_stage(self, rig):
+        sim, conn = rig
+        socket = MessageSocket(conn, make_stage())
+        record = socket.send(4000, attrs={"msg_type": "rpc"})
+        assert len(record.classifications) == 1
+        assert record.classifications[0].class_name == "app.r1.RPC"
+        assert record.metadata["msg_size"] == 4000
+
+    def test_msg_size_defaults_to_length(self, rig):
+        sim, conn = rig
+        socket = MessageSocket(conn, make_stage())
+        record = socket.send(1234, attrs={"msg_type": "rpc"})
+        assert record.metadata["msg_size"] == 1234
+
+    def test_explicit_msg_size_wins(self, rig):
+        # An app may declare a logical size different from the bytes
+        # on this connection (e.g. a READ request standing for 64 KB).
+        sim, conn = rig
+        socket = MessageSocket(conn, make_stage())
+        record = socket.send(
+            100, attrs={"msg_type": "rpc", "msg_size": 65536})
+        assert record.metadata["msg_size"] == 65536
+
+    def test_non_matching_attrs_fall_to_catchall(self, rig):
+        sim, conn = rig
+        socket = MessageSocket(conn, make_stage())
+        record = socket.send(10, attrs={"msg_type": "bulk"})
+        assert record.classifications[0].class_name == "app.r1.OTHER"
+
+    def test_no_stage_degrades_gracefully(self, rig):
+        sim, conn = rig
+        socket = MessageSocket(conn)
+        record = socket.send(10)
+        assert record.classifications == ()
+        assert record.metadata == {}
+
+    def test_counts_messages(self, rig):
+        sim, conn = rig
+        socket = MessageSocket(conn, make_stage())
+        for _ in range(3):
+            socket.send(10, attrs={"msg_type": "rpc"})
+        assert socket.messages_sent == 3
+
+    def test_close_closes_connection(self, rig):
+        sim, conn = rig
+        socket = MessageSocket(conn)
+        socket.send(10)
+        socket.close()
+        sim.run(until_ns=20 * MS)
+        assert conn.state == conn.DONE
+
+
+class TestCpuAccounting:
+    def test_buckets_and_percentiles(self):
+        from repro.core import CpuAccounting
+        acct = CpuAccounting(enabled=True)
+        for v in (100, 200, 300, 400):
+            acct.record("api", v)
+        assert acct.mean_ns("api") == 250
+        assert acct.percentile_ns("api", 95) in (300, 400)
+        assert acct.totals()["api"] == 1000
+        assert acct.counts()["api"] == 4
+
+    def test_disabled_accounting_is_free(self):
+        from repro.core import CpuAccounting
+        acct = CpuAccounting(enabled=False)
+        acct.record("api", 100)
+        assert acct.counts()["api"] == 0
+        assert acct.now() == 0
+
+    def test_reset(self):
+        from repro.core import CpuAccounting
+        acct = CpuAccounting(enabled=True)
+        acct.record("enclave", 5)
+        acct.reset()
+        assert acct.totals()["enclave"] == 0
+
+    def test_empty_percentile(self):
+        from repro.core import CpuAccounting
+        acct = CpuAccounting(enabled=True)
+        assert acct.percentile_ns("interpreter", 95) == 0.0
+        assert acct.mean_ns("interpreter") == 0.0
