@@ -8,6 +8,7 @@ Runs any of the paper-reproduction experiments without writing code:
     python -m repro fig11 --duration-ms 200
     python -m repro fig12 --duration-ms 20
     python -m repro micro --packets 300
+    python -m repro bench-smoke
 """
 
 from __future__ import annotations
@@ -69,6 +70,69 @@ def _cmd_micro(args) -> int:
     return 0
 
 
+def _cmd_bench_smoke(args) -> int:
+    """Fast dispatch-speed regression gate (runs in a few seconds).
+
+    Compares ns/op of both interpreter dispatch modes against the
+    checked-in baseline and fails when either regresses by more than
+    2x — catching accidental de-optimization of the hot path without
+    the full pytest-benchmark run.
+    """
+    import json
+    import os
+
+    from .experiments import micro
+
+    results = micro.run_dispatch_micro(invocations=args.invocations)
+    print(micro.format_dispatch_results(results))
+
+    if args.update_baseline:
+        baseline = {r.name: {"ops_per_invoke": r.ops_per_invoke,
+                             "tree_ns_per_op": round(r.tree_ns_per_op, 1),
+                             "fast_ns_per_op": round(r.fast_ns_per_op, 1)}
+                    for r in results}
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote baseline {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with "
+              f"--update-baseline to create one")
+        return 1
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    status = 0
+    for res in results:
+        ref = baseline.get(res.name)
+        if ref is None:
+            print(f"FAIL {res.name}: not in baseline "
+                  f"{args.baseline}")
+            status = 1
+            continue
+        if res.ops_per_invoke != ref["ops_per_invoke"]:
+            print(f"FAIL {res.name}: ops/invocation changed "
+                  f"{ref['ops_per_invoke']} -> {res.ops_per_invoke} "
+                  f"(program or accounting drifted; re-baseline if "
+                  f"intended)")
+            status = 1
+            continue
+        for mode in ("tree", "fast"):
+            now = getattr(res, f"{mode}_ns_per_op")
+            ref_ns = ref[f"{mode}_ns_per_op"]
+            if now > args.threshold * ref_ns:
+                print(f"FAIL {res.name} [{mode}]: {now:.1f} ns/op is "
+                      f">{args.threshold}x the baseline "
+                      f"{ref_ns:.1f} ns/op")
+                status = 1
+    if status == 0:
+        print(f"bench-smoke OK (within {args.threshold}x of "
+              f"{args.baseline})")
+    return status
+
+
 def _cmd_report(args) -> int:
     """Regenerate the full evaluation into one markdown report."""
     from .experiments import fig9, fig10, fig11, fig12, micro
@@ -114,6 +178,8 @@ _COMMANDS = {
     "fig11": (_cmd_fig11, "Pulsar storage QoS"),
     "fig12": (_cmd_fig12, "Eden CPU overheads"),
     "micro": (_cmd_micro, "interpreter microbenchmarks"),
+    "bench-smoke": (_cmd_bench_smoke,
+                    "dispatch-speed regression gate vs baseline JSON"),
     "report": (_cmd_report, "run everything, write a markdown report"),
 }
 
@@ -138,6 +204,17 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "table1":
             p.add_argument("--backend", default="interpreter",
                            choices=("interpreter", "native"))
+        if name == "bench-smoke":
+            p.add_argument("--baseline",
+                           default="benchmarks/interp_baseline.json",
+                           help="baseline JSON path")
+            p.add_argument("--invocations", type=int, default=800)
+            p.add_argument("--threshold", type=float, default=2.0,
+                           help="fail when ns/op exceeds this "
+                                "multiple of the baseline")
+            p.add_argument("--update-baseline", action="store_true",
+                           help="rewrite the baseline instead of "
+                                "checking against it")
         if name == "report":
             p.add_argument("--out", default="report.md",
                            help="output markdown path")

@@ -62,8 +62,8 @@ class ConcurrencyGuard:
         if self.level is ConcurrencyLevel.SERIAL and \
                 self._in_flight_total > 0:
             raise ConcurrencyViolation(
-                "function writes global state: only one invocation "
-                "may run at a time")
+                f"function writes global state: only one invocation "
+                f"may run at a time (message {msg_key!r} must wait)")
         if self.level is ConcurrencyLevel.PER_MESSAGE and \
                 self._in_flight_msgs.get(msg_key, 0) > 0:
             raise ConcurrencyViolation(
@@ -74,12 +74,16 @@ class ConcurrencyGuard:
             self._in_flight_msgs.get(msg_key, 0) + 1
 
     def release(self, msg_key: object) -> None:
+        held = self._in_flight_msgs.get(msg_key, 0)
+        if held <= 0:
+            raise ConcurrencyViolation(
+                f"release without matching acquire for message "
+                f"{msg_key!r}")
         self._in_flight_total -= 1
-        remaining = self._in_flight_msgs.get(msg_key, 0) - 1
-        if remaining <= 0:
-            self._in_flight_msgs.pop(msg_key, None)
+        if held == 1:
+            del self._in_flight_msgs[msg_key]
         else:
-            self._in_flight_msgs[msg_key] = remaining
+            self._in_flight_msgs[msg_key] = held - 1
 
 
 @dataclass
@@ -143,6 +147,90 @@ class InstalledFunction:
         self.message_store = (MessageStore(message_schema)
                               if message_schema is not None else None)
         self.stats = FunctionStats()
+        self._build_hot_path()
+
+    def _build_hot_path(self) -> None:
+        """Precompute the per-packet state prep and commit plans.
+
+        The enclave data path used to re-decide, per packet and per
+        field-table slot, which scope a value comes from and whether it
+        is writable.  All of that is known at install time, so we bind
+        one reader closure per slot and split the writable slots by
+        scope for the commit loop.  Readers dereference
+        ``self.global_store`` at call time (not at build time) so
+        :meth:`Enclave.replace_function` can carry stores over after
+        construction.
+        """
+        readers: List[Callable] = []
+        for ref in self.program.field_table:
+            if ref.scope == "packet":
+                f = self.packet_schema.field_named(ref.name)
+                if f.binder is not None:
+                    readers.append(
+                        lambda pkt, msg, _b=f.binder: int(_b(pkt, None)))
+                else:
+                    readers.append(
+                        lambda pkt, msg, _n=ref.name, _d=f.default:
+                        int(getattr(pkt, _n, _d)))
+            elif ref.scope == "message":
+                readers.append(
+                    lambda pkt, msg, _n=ref.name: msg.values[_n])
+            else:
+                f = self.global_schema.field_named(ref.name)
+                if f.binder is not None:
+                    readers.append(
+                        lambda pkt, msg, _b=f.binder, _fn=self:
+                        int(_b(pkt, _fn.global_store)))
+                else:
+                    readers.append(
+                        lambda pkt, msg, _n=ref.name, _fn=self:
+                        _fn.global_store.scalar(_n))
+        self._field_readers = readers
+
+        array_readers: List[Callable] = []
+        for aref in self.program.array_table:
+            if aref.scope != "global":
+                def _bad_scope(pkt, _s=aref.scope):
+                    raise EnclaveError(
+                        f"array state is only supported at global "
+                        f"scope, not {_s!r}")
+                array_readers.append(_bad_scope)
+                continue
+            f = self.global_schema.field_named(aref.name)
+            if f.binder is not None:
+                array_readers.append(
+                    lambda pkt, _b=f.binder, _fn=self:
+                    list(_b(pkt, _fn.global_store)))
+            else:
+                array_readers.append(
+                    lambda pkt, _n=aref.name, _fn=self:
+                    _fn.global_store.array(_n))
+        self._array_readers = array_readers
+
+        # Preallocated per-packet buffers; both backends copy their
+        # inputs before mutating, so reuse across invocations is safe.
+        self._field_buf: List[int] = [0] * len(readers)
+        self._array_buf: List[Sequence[int]] = [()] * len(array_readers)
+
+        packet_writes: List[Tuple[int, str]] = []
+        message_writes: List[Tuple[int, str]] = []
+        global_writes: List[Tuple[int, str]] = []
+        for i, ref in enumerate(self.program.field_table):
+            if not ref.writable:
+                continue
+            if ref.scope == "packet":
+                packet_writes.append((i, ref.name))
+            elif ref.scope == "message":
+                message_writes.append((i, ref.name))
+            else:
+                global_writes.append((i, ref.name))
+        self._packet_writes = packet_writes
+        self._message_writes = message_writes
+        self._global_writes = global_writes
+        self._array_writes = [
+            (i, aref.name)
+            for i, aref in enumerate(self.program.array_table)
+            if aref.writable and aref.scope == "global"]
 
     def execute(self, fields: Sequence[int],
                 arrays: Sequence[Sequence[int]]) -> ExecResult:
@@ -176,16 +264,30 @@ class MatchRule:
         return class_name == self.pattern
 
 
+#: Lookup results memoized per class-name tuple; bounded so a hostile
+#: stage churning class names cannot grow the cache without limit.
+_LOOKUP_CACHE_LIMIT = 1024
+_MISS = object()
+
+
 class MatchActionTable:
-    """An ordered set of :class:`MatchRule`, highest priority first."""
+    """An ordered set of :class:`MatchRule`, highest priority first.
+
+    Lookups are memoized per class-name tuple — packets of one flow
+    carry the same classes, so the per-packet cost collapses to one
+    dict probe.  ``add``/``remove`` invalidate the cache.
+    """
 
     def __init__(self, table_id: int) -> None:
         self.table_id = table_id
         self._rules: List[MatchRule] = []
+        self._lookup_cache: Dict[Tuple[str, ...],
+                                 Optional[Tuple[MatchRule, str]]] = {}
 
     def add(self, rule: MatchRule) -> None:
         self._rules.append(rule)
         self._rules.sort(key=lambda r: (-r.priority, r.rule_id))
+        self._lookup_cache.clear()
 
     def remove(self, rule_id: int) -> None:
         before = len(self._rules)
@@ -193,16 +295,28 @@ class MatchActionTable:
         if len(self._rules) == before:
             raise EnclaveError(
                 f"table {self.table_id}: no rule {rule_id}")
+        self._lookup_cache.clear()
 
     def lookup(self, class_names: Sequence[str]
                ) -> Optional[Tuple[MatchRule, str]]:
         """First rule (by priority) matching any of the packet's
         classes; returns (rule, matched class name)."""
+        key = tuple(class_names)
+        hit = self._lookup_cache.get(key, _MISS)
+        if hit is not _MISS:
+            return hit
+        found: Optional[Tuple[MatchRule, str]] = None
         for rule in self._rules:
             for cname in class_names:
                 if rule.matches(cname):
-                    return rule, cname
-        return None
+                    found = (rule, cname)
+                    break
+            if found is not None:
+                break
+        if len(self._lookup_cache) >= _LOOKUP_CACHE_LIMIT:
+            self._lookup_cache.clear()
+        self._lookup_cache[key] = found
+        return found
 
     def rules(self) -> List[MatchRule]:
         return list(self._rules)
@@ -613,13 +727,15 @@ class Enclave:
                 msg_entry, _ = fn.message_store.lookup(
                     msg_id, now_ns, int_metadata)
 
-            fields: List[int] = []
-            for ref in fn.program.field_table:
-                fields.append(self._read_field(fn, ref, packet,
-                                               msg_entry))
-            arrays: List[List[int]] = []
-            for aref in fn.program.array_table:
-                arrays.append(self._read_array(fn, aref, packet))
+            # Preallocated buffers + one precomputed reader per slot
+            # (see InstalledFunction._build_hot_path); both backends
+            # copy these inputs before mutating them.
+            fields = fn._field_buf
+            for i, read in enumerate(fn._field_readers):
+                fields[i] = read(packet, msg_entry)
+            arrays = fn._array_buf
+            for i, read_array in enumerate(fn._array_readers):
+                arrays[i] = read_array(packet)
             self.accounting.record("enclave",
                                    self.accounting.now() - t0)
 
@@ -658,49 +774,17 @@ class Enclave:
         finally:
             fn.guard.release(msg_id)
 
-    def _read_field(self, fn: InstalledFunction, ref, packet,
-                    msg_entry) -> int:
-        if ref.scope == "packet":
-            schema_field = fn.packet_schema.field_named(ref.name)
-            if schema_field.binder is not None:
-                return int(schema_field.binder(packet, None))
-            return int(getattr(packet, ref.name, schema_field.default))
-        if ref.scope == "message":
-            assert msg_entry is not None
-            return msg_entry.values[ref.name]
-        schema_field = fn.global_schema.field_named(ref.name)
-        if schema_field.binder is not None:
-            return int(schema_field.binder(packet, fn.global_store))
-        return fn.global_store.scalar(ref.name)
-
-    def _read_array(self, fn: InstalledFunction, aref,
-                    packet) -> List[int]:
-        if aref.scope != "global":
-            raise EnclaveError(
-                f"array state is only supported at global scope, not "
-                f"{aref.scope!r}")
-        schema_field = fn.global_schema.field_named(aref.name)
-        if schema_field.binder is not None:
-            return list(schema_field.binder(packet, fn.global_store))
-        return fn.global_store.array(aref.name)
-
     def _commit(self, fn: InstalledFunction, packet, msg_id: object,
                 exec_result: ExecResult) -> None:
-        msg_updates: Dict[str, int] = {}
-        for ref, value in zip(fn.program.field_table,
-                              exec_result.fields):
-            if not ref.writable:
-                continue
-            if ref.scope == "packet":
-                if fn.commit_packet_writes:
-                    setattr(packet, ref.name, value)
-            elif ref.scope == "message":
-                msg_updates[ref.name] = value
-            else:
-                fn.global_store.commit_scalar(ref.name, value)
-        if msg_updates and fn.message_store is not None:
-            fn.message_store.commit(msg_id, msg_updates)
-        for aref, values in zip(fn.program.array_table,
-                                exec_result.arrays):
-            if aref.writable and aref.scope == "global":
-                fn.global_store.commit_array(aref.name, values)
+        out = exec_result.fields
+        if fn.commit_packet_writes:
+            for i, name in fn._packet_writes:
+                setattr(packet, name, out[i])
+        if fn._message_writes and fn.message_store is not None:
+            fn.message_store.commit(
+                msg_id, {name: out[i]
+                         for i, name in fn._message_writes})
+        for i, name in fn._global_writes:
+            fn.global_store.commit_scalar(name, out[i])
+        for i, name in fn._array_writes:
+            fn.global_store.commit_array(name, exec_result.arrays[i])

@@ -125,3 +125,108 @@ def format_results(results: List[MicroResult]) -> str:
              "case-study program"]
     lines += [r.row() for r in results]
     return "\n".join(lines)
+
+
+# -- dispatch-mode micro: tree walk vs fast dispatch --------------------
+
+@dataclass
+class DispatchResult:
+    """ns/op of one program under both interpreter dispatch modes.
+
+    ops/invocation is identical across modes by construction
+    (superinstructions count their constituent ops; enforced by
+    ``tests/lang/test_execstats.py``), so ns/op is directly
+    comparable.
+    """
+
+    name: str
+    ops_per_invoke: int
+    tree_ns_per_op: float
+    fast_ns_per_op: float
+
+    @property
+    def speedup(self) -> float:
+        if self.fast_ns_per_op <= 0:
+            return 0.0
+        return self.tree_ns_per_op / self.fast_ns_per_op
+
+    def row(self) -> str:
+        return (f"{self.name:<18} ops {self.ops_per_invoke:4d}  "
+                f"tree {self.tree_ns_per_op:7.1f} ns/op  fast "
+                f"{self.fast_ns_per_op:7.1f} ns/op  "
+                f"({self.speedup:4.2f}x)")
+
+
+def _pias_search_snapshot(levels: int = 16):
+    """The PIAS program plus a snapshot that runs its search loop.
+
+    ``levels`` (threshold, priority) records with the message size
+    above every threshold force the demotion search (Fig 2's loop) to
+    walk the whole table — the interpreter's hottest realistic path.
+    """
+    from ..lang import DEFAULT_PACKET_SCHEMA
+    from ..lang.compiler import compile_action
+
+    spec = _spec_for("PIAS")
+    _, program = compile_action(
+        spec.action, packet_schema=DEFAULT_PACKET_SCHEMA,
+        message_schema=spec.message_schema,
+        global_schema=spec.global_schema, name=spec.function_name)
+    records: List[int] = []
+    for i in range(levels):
+        records.extend((10_000 * (i + 1), 7 - min(i, 7)))
+    fields = []
+    for ref in program.field_table:
+        if (ref.scope, ref.name) == ("message", "size"):
+            fields.append(10_000 * levels + 1)   # above every threshold
+        elif (ref.scope, ref.name) == ("message", "priority"):
+            fields.append(1)   # demotion enabled -> search runs
+        else:
+            fields.append(0)
+    arrays = [list(records) for _ in program.array_table]
+    return program, fields, arrays
+
+
+def _time_dispatch(program, fields, arrays, dispatch: str,
+                   invocations: int, repeat: int) -> Tuple[float, int]:
+    """Best-of-``repeat`` (ns/invocation, ops/invocation)."""
+    from ..lang.interpreter import Interpreter
+
+    interp = Interpreter(dispatch=dispatch)
+    result = interp.execute(program, list(fields),
+                            [list(a) for a in arrays])  # warm-up
+    ops = result.stats.ops_executed
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter_ns()
+        for _ in range(invocations):
+            interp.execute(program, list(fields),
+                           [list(a) for a in arrays])
+        best = min(best,
+                   (time.perf_counter_ns() - t0) / invocations)
+    return best, ops
+
+
+def run_dispatch_micro(invocations: int = 1500, repeat: int = 3,
+                       levels: int = 16) -> List[DispatchResult]:
+    """ns/op before/after: tree walk vs closure-threaded dispatch."""
+    program, fields, arrays = _pias_search_snapshot(levels)
+    results = []
+    tree_ns, ops = _time_dispatch(program, fields, arrays, "tree",
+                                  invocations, repeat)
+    fast_ns, fast_ops = _time_dispatch(program, fields, arrays,
+                                       "fast", invocations, repeat)
+    assert ops == fast_ops, "dispatch modes disagree on op count"
+    results.append(DispatchResult(
+        name=f"PIAS search x{levels}",
+        ops_per_invoke=ops,
+        tree_ns_per_op=tree_ns / ops,
+        fast_ns_per_op=fast_ns / ops))
+    return results
+
+
+def format_dispatch_results(results: List[DispatchResult]) -> str:
+    lines = ["Interpreter dispatch — tree walk (before) vs "
+             "closure-threaded fast dispatch (after)"]
+    lines += [r.row() for r in results]
+    return "\n".join(lines)

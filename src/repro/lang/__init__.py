@@ -22,6 +22,8 @@ from .bytecode import (ArrayRef, FieldRef, FunctionCode, Instr, Op,
                        Program, wrap64)
 from .compiler import CompileError, compile_action, compile_ast
 from .dsl import DslError, lower, quote
+from .fastdispatch import compile_program as compile_fast_dispatch
+from .fastdispatch import execute_fast, fast_code
 from .interpreter import (ExecResult, ExecStats, Interpreter,
                           InterpreterFault)
 from .native import NativeFault, NativeFunction
@@ -34,7 +36,8 @@ __all__ = [
     "FieldRef", "FunctionCode", "Instr", "Interpreter",
     "InterpreterFault", "Lifetime", "NativeFault", "NativeFunction",
     "Op", "Program", "ProgramAST", "Schema", "SchemaError",
-    "VerificationError", "compile_action", "compile_ast", "lower",
+    "VerificationError", "compile_action", "compile_ast",
+    "compile_fast_dispatch", "execute_fast", "fast_code", "lower",
     "optimize_function", "optimize_program", "quote", "schema",
     "verify", "wrap64",
 ]

@@ -1,0 +1,793 @@
+"""Closure-threaded fast dispatch for Eden bytecode.
+
+The tree-walk loop in :mod:`repro.lang.interpreter` re-decodes every
+instruction through a long ``Op`` comparison chain.  This module
+pre-compiles a :class:`~repro.lang.bytecode.Program` into one Python
+closure per instruction: each closure has its operands, jump targets
+and fault messages resolved at compile time and returns the next pc, so
+the dispatch loop is just ``pc = handlers[pc](ctx)``.
+
+On top of the per-instruction closures, a fusion pass replaces the
+dominant instruction *pairs/triples* observed in the paper's Fig 2/3/4/7
+programs with single "superinstructions":
+
+* ``push ; binop``          (e.g. ``CONST 4; MUL`` in PIAS's search loop)
+* ``push ; cmp ; branch``   (e.g. ``ALEN; CGE; JZ`` loop headers)
+* ``cmp ; branch``
+* ``push ; push``
+* ``push ; STORE`` / ``push ; PUTF`` (writable fields only)
+* ``ADD ; HLOAD``           (array indexing)
+
+Fusion never crosses a jump target, and the interior instructions of a
+fused window keep their unfused handlers, so a jump *into* the middle
+of a window still executes correctly with no pc remapping.
+
+Semantics are kept bit-for-bit identical to the tree walk — same
+results, same :class:`InterpreterFault` reasons, same ``ExecStats``
+(superinstructions count their constituent ops) — and
+``tests/lang/test_differential.py`` enforces that over the functions
+library and hundreds of fuzzed programs.  The one knowing divergence:
+jumps to negative targets (rejected by the verifier) fault here as
+"fell off end of code" instead of wrapping around Python-style.
+
+Compiled handler lists are cached on the ``Program`` instance (an
+``object.__setattr__`` side-table on the frozen dataclass), so the
+enclave pays compilation once per installed function, not per packet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from .bytecode import (INT_MASK, INT_MAX, Instr, Op, Program, wrap64)
+from .interpreter import ExecResult, ExecStats, InterpreterFault
+
+_CARRY = 1 << 64
+#: Sentinel budget for "no budget": never exceeded by a real program.
+_NO_BUDGET = 1 << 62
+
+Handler = Callable[["_Ctx"], int]
+
+
+class _Ctx:
+    """Mutable per-invocation state shared by every handler closure."""
+
+    __slots__ = (
+        "stack", "locals", "fields", "heap", "bases", "lengths",
+        "wranges", "ops", "budget", "outer", "max_seen", "stack_limit",
+        "depth", "call_limit", "max_depth", "rng", "clock",
+        "clock_value", "halted", "ret", "name",
+    )
+
+
+def _budget_fault(ctx: "_Ctx", pc: int) -> None:
+    raise InterpreterFault(f"op budget of {ctx.budget} exceeded",
+                           ctx.name, pc)
+
+
+def _stack_fault(ctx: "_Ctx", depth: int, pc: int) -> None:
+    raise InterpreterFault(
+        f"operand stack of {depth} words exceeds limit "
+        f"{ctx.stack_limit}", ctx.name, pc)
+
+
+def _run_frame(ctx: "_Ctx", handlers: Sequence[Handler]) -> int:
+    """Dispatch loop for one frame; returns the frame's result value."""
+    pc = 0
+    try:
+        while pc >= 0:
+            pc = handlers[pc](ctx)
+    except IndexError:
+        raise InterpreterFault("operand stack underflow", ctx.name,
+                               pc) from None
+    return ctx.ret
+
+
+# -- exec-generated handler factories -----------------------------------
+#
+# The hot families (pushes, binops, compares, and their fusions) are
+# generated from source templates so each closure body is straight-line
+# Python with the 64-bit wraparound inlined as mask arithmetic — no
+# wrap64() call, no Op comparisons, no attribute lookups beyond ctx.
+
+_ENV = {
+    "InterpreterFault": InterpreterFault,
+    "_budget_fault": _budget_fault,
+    "_stack_fault": _stack_fault,
+}
+
+
+def _def_factory(fname: str, params: Sequence[str],
+                 body: Sequence[str], n_ops: int) -> Callable:
+    lines = [f"def {fname}({', '.join(params)}):",
+             "    def h(ctx):",
+             f"        ctx.ops += {n_ops}",
+             "        if ctx.ops > ctx.budget:",
+             "            _budget_fault(ctx, pc)",
+             "        s = ctx.stack"]
+    lines += ["        " + ln for ln in body]
+    lines.append("    return h")
+    ns = dict(_ENV)
+    exec("\n".join(lines), ns)  # noqa: S102 - static templates only
+    return ns[fname]
+
+
+def _wrap_lines(expr: str) -> List[str]:
+    """res = wrap64(expr), inlined."""
+    return [f"v = ({expr}) & {INT_MASK}",
+            f"res = v - {_CARRY} if v > {INT_MAX} else v"]
+
+
+def _depth_lines(extra: int, fault_pc: str) -> List[str]:
+    """The tree-walk post-push depth bookkeeping, at peak len(s)+extra."""
+    return [f"d = ctx.outer + len(s) + {extra}",
+            "if d > ctx.max_seen:",
+            "    ctx.max_seen = d",
+            "    if d > ctx.stack_limit:",
+            f"        _stack_fault(ctx, d, {fault_pc})"]
+
+
+#: Push-family source expressions; ``{v}`` is the closure-arg slot.
+_PUSH_EXPR = {
+    Op.CONST: "{v}",
+    Op.LOAD: "ctx.locals[{v}]",
+    Op.GETF: "ctx.fields[{v}]",
+    Op.ABASE: "ctx.bases[{v}]",
+    Op.ALEN: "ctx.lengths[{v}]",
+}
+
+_BINOP_SET = (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.BAND, Op.BOR,
+              Op.BXOR, Op.SHL, Op.SHR)
+
+_CMP_SYM = {
+    Op.CEQ: "==", Op.CNE: "!=", Op.CLT: "<",
+    Op.CLE: "<=", Op.CGT: ">", Op.CGE: ">=",
+}
+
+_JUMP_OPS = (Op.JMP, Op.JZ, Op.JNZ)
+
+
+def _binop_lines(op: Op, lhs: str, rhs: str, pc_expr: str) -> List[str]:
+    """Lines computing ``res`` = lhs <op> rhs with tree-walk faults.
+
+    ``rhs`` must be side-effect free (a name or an index read); it is
+    evaluated before ``lhs`` is touched, matching the tree walk's
+    pop-rhs-first order.
+    """
+    if op is Op.ADD:
+        return _wrap_lines(f"{lhs} + {rhs}")
+    if op is Op.SUB:
+        return _wrap_lines(f"{lhs} - {rhs}")
+    if op is Op.MUL:
+        return _wrap_lines(f"{lhs} * {rhs}")
+    if op is Op.BAND:
+        return [f"res = {lhs} & {rhs}"]
+    if op is Op.BOR:
+        return [f"res = {lhs} | {rhs}"]
+    if op is Op.BXOR:
+        return [f"res = {lhs} ^ {rhs}"]
+    if op is Op.DIV:
+        return [f"r0 = {rhs}",
+                "if r0 == 0:",
+                "    raise InterpreterFault('division by zero', "
+                f"name, {pc_expr})"] + _wrap_lines(f"{lhs} // r0")
+    if op is Op.MOD:
+        return [f"r0 = {rhs}",
+                "if r0 == 0:",
+                "    raise InterpreterFault('modulo by zero', "
+                f"name, {pc_expr})",
+                f"res = {lhs} % r0"]
+    if op is Op.SHL:
+        return [f"r0 = {rhs}",
+                "if not 0 <= r0 < 64:",
+                "    raise InterpreterFault("
+                "f'shift amount {r0} out of range', "
+                f"name, {pc_expr})"] + _wrap_lines(f"{lhs} << r0")
+    if op is Op.SHR:
+        return [f"r0 = {rhs}",
+                "if not 0 <= r0 < 64:",
+                "    raise InterpreterFault("
+                "f'shift amount {r0} out of range', "
+                f"name, {pc_expr})",
+                f"res = {lhs} >> r0"]
+    raise AssertionError(op)
+
+
+# Plain pushes: value expr + the tree walk's post-push depth check.
+_F_PUSH = {}
+for _op, _fmt in _PUSH_EXPR.items():
+    _F_PUSH[_op] = _def_factory(
+        f"_push_{_op.name.lower()}", ("pc", "npc", "a", "name"),
+        [f"s.append({_fmt.format(v='a')})"]
+        + _depth_lines(0, "npc") + ["return npc"], 1)
+
+# Plain binops (rhs popped first, exactly like the tree walk).
+_F_BINOP = {}
+for _op in _BINOP_SET:
+    _F_BINOP[_op] = _def_factory(
+        f"_binop_{_op.name.lower()}", ("pc", "npc", "name"),
+        ["r0 = s.pop()"]
+        + _binop_lines(_op, "s[-1]", "r0", "pc")
+        + ["s[-1] = res", "return npc"], 1)
+
+# Plain compares.
+_F_CMP = {}
+for _op, _sym in _CMP_SYM.items():
+    _F_CMP[_op] = _def_factory(
+        f"_cmp_{_op.name.lower()}", ("pc", "npc", "name"),
+        ["r0 = s.pop()",
+         f"s[-1] = 1 if s[-1] {_sym} r0 else 0",
+         "return npc"], 1)
+
+# Fused push ; binop.
+_F_PUSH_BINOP = {}
+for _pop in _PUSH_EXPR:
+    for _bop in _BINOP_SET:
+        _F_PUSH_BINOP[(_pop, _bop)] = _def_factory(
+            f"_f_{_pop.name.lower()}_{_bop.name.lower()}",
+            ("pc", "npc", "a", "name"),
+            _depth_lines(1, "pc + 1")
+            + _binop_lines(_bop, "s[-1]",
+                           _PUSH_EXPR[_pop].format(v="a"), "pc + 1")
+            + ["s[-1] = res", "return npc"], 2)
+
+# Fused cmp ; branch.
+_F_CMP_BRANCH = {}
+for _cop, _sym in _CMP_SYM.items():
+    for _br in (Op.JZ, Op.JNZ):
+        _taken, _fall = ("t", "npc") if _br is Op.JNZ else ("npc", "t")
+        _F_CMP_BRANCH[(_cop, _br)] = _def_factory(
+            f"_f_{_cop.name.lower()}_{_br.name.lower()}",
+            ("pc", "t", "npc", "name"),
+            ["r0 = s.pop()",
+             f"return {_taken} if s.pop() {_sym} r0 else {_fall}"], 2)
+
+# Fused push ; cmp ; branch (the pushed value is the compare rhs).
+_F_PUSH_CMP_BRANCH = {}
+for _pop in _PUSH_EXPR:
+    for _cop, _sym in _CMP_SYM.items():
+        for _br in (Op.JZ, Op.JNZ):
+            _taken, _fall = (("t", "npc") if _br is Op.JNZ
+                             else ("npc", "t"))
+            _F_PUSH_CMP_BRANCH[(_pop, _cop, _br)] = _def_factory(
+                f"_f_{_pop.name.lower()}_{_cop.name.lower()}"
+                f"_{_br.name.lower()}",
+                ("pc", "t", "npc", "a", "name"),
+                _depth_lines(1, "pc + 1")
+                + [f"return {_taken} if s.pop() {_sym} "
+                   f"({_PUSH_EXPR[_pop].format(v='a')}) else {_fall}"],
+                3)
+
+# Fused push ; push (both depth checks kept for exact fault parity).
+_F_PUSH_PUSH = {}
+for _p1 in _PUSH_EXPR:
+    for _p2 in _PUSH_EXPR:
+        _F_PUSH_PUSH[(_p1, _p2)] = _def_factory(
+            f"_f_{_p1.name.lower()}_{_p2.name.lower()}",
+            ("pc", "npc", "a", "b", "name"),
+            [f"s.append({_PUSH_EXPR[_p1].format(v='a')})"]
+            + _depth_lines(0, "pc + 1")
+            + [f"s.append({_PUSH_EXPR[_p2].format(v='b')})"]
+            + _depth_lines(0, "pc + 2") + ["return npc"], 2)
+
+# Fused push ; STORE.
+_F_PUSH_STORE = {}
+for _pop in _PUSH_EXPR:
+    _F_PUSH_STORE[_pop] = _def_factory(
+        f"_f_{_pop.name.lower()}_store",
+        ("pc", "npc", "a", "b", "name"),
+        _depth_lines(1, "pc + 1")
+        + [f"ctx.locals[b] = {_PUSH_EXPR[_pop].format(v='a')}",
+           "return npc"], 2)
+
+# Fused push ; PUTF (compile-time verified writable).
+_F_PUSH_PUTF = {}
+for _pop in _PUSH_EXPR:
+    _F_PUSH_PUTF[_pop] = _def_factory(
+        f"_f_{_pop.name.lower()}_putf",
+        ("pc", "npc", "a", "b", "name"),
+        _depth_lines(1, "pc + 1")
+        + [f"ctx.fields[b] = {_PUSH_EXPR[_pop].format(v='a')}",
+           "return npc"], 2)
+
+# Fused ADD ; HLOAD (array element read: base + index, then load).
+_F_ADD_HLOAD = _def_factory(
+    "_f_add_hload", ("pc", "npc", "name"),
+    ["r0 = s.pop()",
+     f"v = (s[-1] + r0) & {INT_MASK}",
+     f"addr = v - {_CARRY} if v > {INT_MAX} else v",
+     "h0 = ctx.heap",
+     "if not 0 <= addr < len(h0):",
+     "    raise InterpreterFault("
+     "f'heap read at {addr} out of bounds "
+     "(heap has {len(h0)} words)', name, pc + 1)",
+     "s[-1] = h0[addr]",
+     "return npc"], 2)
+
+
+# -- hand-written factories for the cold ops ----------------------------
+
+def _f_store(pc, npc, a, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        ctx.locals[a] = ctx.stack.pop()
+        return npc
+    return h
+
+
+def _f_pop(pc, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        ctx.stack.pop()
+        return npc
+    return h
+
+
+def _f_dup(pc, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        s = ctx.stack
+        s.append(s[-1])
+        d = ctx.outer + len(s)
+        if d > ctx.max_seen:
+            ctx.max_seen = d
+            if d > ctx.stack_limit:
+                _stack_fault(ctx, d, npc)
+        return npc
+    return h
+
+
+def _f_swap(pc, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        s = ctx.stack
+        s[-1], s[-2] = s[-2], s[-1]
+        return npc
+    return h
+
+
+def _f_neg(pc, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        s = ctx.stack
+        v = (-s[-1]) & INT_MASK
+        s[-1] = v - _CARRY if v > INT_MAX else v
+        return npc
+    return h
+
+
+def _f_bnot(pc, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        s = ctx.stack
+        v = (~s[-1]) & INT_MASK
+        s[-1] = v - _CARRY if v > INT_MAX else v
+        return npc
+    return h
+
+
+def _f_notl(pc, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        s = ctx.stack
+        s[-1] = 1 if s[-1] == 0 else 0
+        return npc
+    return h
+
+
+def _f_jmp(pc, t, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        return t
+    return h
+
+
+def _f_jz(pc, t, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        return t if ctx.stack.pop() == 0 else npc
+    return h
+
+
+def _f_jnz(pc, t, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        return t if ctx.stack.pop() != 0 else npc
+    return h
+
+
+def _f_putf(pc, npc, a, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        ctx.fields[a] = ctx.stack.pop()
+        return npc
+    return h
+
+
+def _f_putf_readonly(pc, name, scope, fname):
+    reason = f"write to read-only field {scope}.{fname}"
+
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        raise InterpreterFault(reason, name, pc)
+    return h
+
+
+def _f_hload(pc, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        s = ctx.stack
+        addr = s.pop()
+        h0 = ctx.heap
+        if not 0 <= addr < len(h0):
+            raise InterpreterFault(
+                f"heap read at {addr} out of bounds "
+                f"(heap has {len(h0)} words)", name, pc)
+        s.append(h0[addr])
+        return npc
+    return h
+
+
+def _f_hstore(pc, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        s = ctx.stack
+        addr = s.pop()
+        value = s.pop()
+        for lo, hi in ctx.wranges:
+            if lo <= addr < hi:
+                ctx.heap[addr] = value
+                return npc
+        raise InterpreterFault(
+            f"heap write at {addr} outside writable regions",
+            name, pc)
+    return h
+
+
+def _f_rand(pc, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        s = ctx.stack
+        bound = s.pop()
+        if bound <= 0:
+            raise InterpreterFault(
+                f"rand bound {bound} must be positive", name, pc)
+        s.append(ctx.rng.randrange(bound))
+        return npc
+    return h
+
+
+def _f_clock(pc, npc, name):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        v = ctx.clock_value
+        if v is None:
+            v = ctx.clock_value = wrap64(ctx.clock())
+        s = ctx.stack
+        s.append(v)
+        d = ctx.outer + len(s)
+        if d > ctx.max_seen:
+            ctx.max_seen = d
+            if d > ctx.stack_limit:
+                _stack_fault(ctx, d, npc)
+        return npc
+    return h
+
+
+def _f_call(pc, npc, name, lists, func_index, n_args, pad):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        if ctx.depth >= ctx.call_limit:
+            raise InterpreterFault(
+                f"call depth exceeds {ctx.call_limit}", name, pc)
+        s = ctx.stack
+        if len(s) < n_args:
+            raise InterpreterFault("operand stack underflow at call",
+                                   name, pc)
+        cut = len(s) - n_args
+        new_locals = s[cut:] + pad
+        del s[cut:]
+        ctx.outer += len(s)
+        saved_locals = ctx.locals
+        ctx.stack = []
+        ctx.locals = new_locals
+        ctx.depth += 1
+        if ctx.depth > ctx.max_depth:
+            ctx.max_depth = ctx.depth
+        ret = _run_frame(ctx, lists[func_index])
+        ctx.depth -= 1
+        ctx.stack = s
+        ctx.locals = saved_locals
+        if ctx.halted:
+            return -1
+        ctx.outer -= len(s)
+        # The tree walk's RET path `continue`s straight to the next
+        # instruction, so no depth check runs on the pushed result.
+        s.append(ret)
+        return npc
+    return h
+
+
+def _f_ret(pc, name, halt):
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        s = ctx.stack
+        ctx.ret = s.pop() if s else 0
+        if halt:
+            ctx.halted = True
+        return -1
+    return h
+
+
+def _f_raiser(pc, name, reason, count_op=True):
+    def h(ctx):
+        if count_op:
+            ctx.ops += 1
+            if ctx.ops > ctx.budget:
+                _budget_fault(ctx, pc)
+        raise InterpreterFault(reason, name, pc)
+    return h
+
+
+def _f_fell_off(name, end_pc):
+    def h(ctx):
+        raise InterpreterFault("fell off end of code", name, end_pc)
+    return h
+
+
+def _f_unknown(pc, name, op):
+    reason = f"unknown opcode {op!r}"
+
+    def h(ctx):
+        ctx.ops += 1
+        if ctx.ops > ctx.budget:
+            _budget_fault(ctx, pc)
+        raise InterpreterFault(reason, name, pc)
+    return h
+
+
+# -- compilation --------------------------------------------------------
+
+def _imm(instr: Instr) -> int:
+    """Compile-time operand: CONST values are pre-wrapped."""
+    if instr.op is Op.CONST:
+        return wrap64(instr.arg)
+    return instr.arg
+
+
+def _clamp_target(target: int, end: int) -> int:
+    """Out-of-range jump targets land on the fell-off-end sentinel."""
+    if 0 <= target <= end:
+        return target
+    return end
+
+
+def _base_handler(program: Program, lists: List[List[Handler]],
+                  code: Sequence[Instr], pc: int) -> Handler:
+    name = program.name
+    instr = code[pc]
+    op = instr.op
+    npc = pc + 1
+    end = len(code)
+    if op in _PUSH_EXPR:
+        return _F_PUSH[op](pc, npc, _imm(instr), name)
+    if op in _BINOP_SET:
+        return _F_BINOP[op](pc, npc, name)
+    if op in _CMP_SYM:
+        return _F_CMP[op](pc, npc, name)
+    if op is Op.STORE:
+        return _f_store(pc, npc, instr.arg, name)
+    if op is Op.POP:
+        return _f_pop(pc, npc, name)
+    if op is Op.DUP:
+        return _f_dup(pc, npc, name)
+    if op is Op.SWAP:
+        return _f_swap(pc, npc, name)
+    if op is Op.NEG:
+        return _f_neg(pc, npc, name)
+    if op is Op.BNOT:
+        return _f_bnot(pc, npc, name)
+    if op is Op.NOTL:
+        return _f_notl(pc, npc, name)
+    if op is Op.JMP:
+        return _f_jmp(pc, _clamp_target(instr.arg, end), name)
+    if op is Op.JZ:
+        return _f_jz(pc, _clamp_target(instr.arg, end), npc, name)
+    if op is Op.JNZ:
+        return _f_jnz(pc, _clamp_target(instr.arg, end), npc, name)
+    if op is Op.PUTF:
+        try:
+            ref = program.field_table[instr.arg]
+        except IndexError:
+            # The tree walk hits IndexError at run time and reports an
+            # operand-stack underflow; reproduce that.
+            return _f_raiser(pc, name, "operand stack underflow")
+        if not ref.writable:
+            return _f_putf_readonly(pc, name, ref.scope, ref.name)
+        return _f_putf(pc, npc, instr.arg, name)
+    if op is Op.HLOAD:
+        return _f_hload(pc, npc, name)
+    if op is Op.HSTORE:
+        return _f_hstore(pc, npc, name)
+    if op is Op.CALL:
+        try:
+            callee = program.functions[instr.arg]
+        except IndexError:
+            return _f_raiser(pc, name, "operand stack underflow")
+        pad = [0] * max(0, callee.n_locals - callee.n_args)
+        return _f_call(pc, npc, name, lists, instr.arg,
+                       callee.n_args, pad)
+    if op is Op.RET:
+        return _f_ret(pc, name, halt=False)
+    if op is Op.HALT:
+        return _f_ret(pc, name, halt=True)
+    if op is Op.RAND:
+        return _f_rand(pc, npc, name)
+    if op is Op.CLOCK:
+        return _f_clock(pc, npc, name)
+    return _f_unknown(pc, name, op)
+
+
+def _writable_putf_slot(program: Program, instr: Instr) -> Optional[int]:
+    try:
+        ref = program.field_table[instr.arg]
+    except IndexError:
+        return None
+    return instr.arg if ref.writable else None
+
+
+def _fuse(program: Program, code: Sequence[Instr], pc: int,
+          targets: frozenset) -> Optional[Handler]:
+    """A superinstruction handler for the window starting at pc, if any."""
+    name = program.name
+    end = len(code)
+    i0 = code[pc]
+    op0 = i0.op
+    # push ; cmp ; branch
+    if (op0 in _PUSH_EXPR and pc + 2 < end
+            and pc + 1 not in targets and pc + 2 not in targets
+            and code[pc + 1].op in _CMP_SYM
+            and code[pc + 2].op in (Op.JZ, Op.JNZ)):
+        br = code[pc + 2]
+        fact = _F_PUSH_CMP_BRANCH[(op0, code[pc + 1].op, br.op)]
+        return fact(pc, _clamp_target(br.arg, end), pc + 3,
+                    _imm(i0), name)
+    if pc + 1 >= end or (pc + 1) in targets:
+        return None
+    i1 = code[pc + 1]
+    op1 = i1.op
+    if op0 in _PUSH_EXPR:
+        if op1 in _BINOP_SET:
+            return _F_PUSH_BINOP[(op0, op1)](pc, pc + 2, _imm(i0), name)
+        if op1 is Op.STORE:
+            return _F_PUSH_STORE[op0](pc, pc + 2, _imm(i0), i1.arg,
+                                      name)
+        if op1 is Op.PUTF:
+            slot = _writable_putf_slot(program, i1)
+            if slot is not None:
+                return _F_PUSH_PUTF[op0](pc, pc + 2, _imm(i0), slot,
+                                         name)
+            return None
+        if op1 in _PUSH_EXPR:
+            return _F_PUSH_PUSH[(op0, op1)](pc, pc + 2, _imm(i0),
+                                            _imm(i1), name)
+        return None
+    if op0 in _CMP_SYM and op1 in (Op.JZ, Op.JNZ):
+        return _F_CMP_BRANCH[(op0, op1)](
+            pc, _clamp_target(i1.arg, end), pc + 2, name)
+    if op0 is Op.ADD and op1 is Op.HLOAD:
+        return _F_ADD_HLOAD(pc, pc + 2, name)
+    return None
+
+
+def compile_program(program: Program) -> List[List[Handler]]:
+    """Compile every function to a handler list (len(code)+1 entries).
+
+    Entry ``len(code)`` is the fell-off-end sentinel so running past
+    the last instruction faults exactly like the tree walk.
+    """
+    lists: List[List[Handler]] = [
+        [None] * (len(fn.code) + 1)  # type: ignore[list-item]
+        for fn in program.functions
+    ]
+    for fi, fn in enumerate(program.functions):
+        code = fn.code
+        handlers = lists[fi]
+        targets = frozenset(
+            i.arg for i in code if i.op in _JUMP_OPS)
+        for pc in range(len(code)):
+            handlers[pc] = _base_handler(program, lists, code, pc)
+        handlers[len(code)] = _f_fell_off(program.name, len(code))
+        for pc in range(len(code)):
+            fused = _fuse(program, code, pc, targets)
+            if fused is not None:
+                handlers[pc] = fused
+    return lists
+
+
+def fast_code(program: Program) -> List[List[Handler]]:
+    """The compiled handler lists, cached on the Program instance."""
+    lists = getattr(program, "_fast_lists", None)
+    if lists is None:
+        lists = compile_program(program)
+        object.__setattr__(program, "_fast_lists", lists)
+    return lists
+
+
+def execute_fast(interp, program: Program, fields: Sequence[int],
+                 arrays: Sequence[Sequence[int]],
+                 args: Sequence[int] = ()) -> ExecResult:
+    """Fast-dispatch twin of ``Interpreter.execute_tree``."""
+    from .interpreter import _copy_in, _finish, _make_locals
+
+    field_file, heap, bases, lengths, wranges = _copy_in(
+        program, fields, arrays, interp.max_heap_words)
+    lists = fast_code(program)
+
+    ctx = _Ctx()
+    ctx.stack = []
+    ctx.locals = _make_locals(program.entry.n_locals, args)
+    ctx.fields = field_file
+    ctx.heap = heap
+    ctx.bases = bases
+    ctx.lengths = lengths
+    ctx.wranges = wranges
+    ctx.ops = 0
+    ctx.budget = (interp.op_budget if interp.op_budget is not None
+                  else _NO_BUDGET)
+    ctx.outer = 0
+    ctx.max_seen = 0
+    ctx.stack_limit = interp.max_operand_stack
+    ctx.depth = 1
+    ctx.call_limit = interp.max_call_depth
+    ctx.max_depth = 1
+    ctx.rng = interp.rng
+    ctx.clock = interp.clock
+    ctx.clock_value = None
+    ctx.halted = False
+    ctx.ret = 0
+    ctx.name = program.name
+
+    result = _run_frame(ctx, lists[0])
+    stats = ExecStats(ops_executed=ctx.ops,
+                      max_operand_stack=ctx.max_seen,
+                      max_call_depth=ctx.max_depth,
+                      heap_words=len(heap))
+    return _finish(program, result, field_file, heap, bases, lengths,
+                   stats)

@@ -86,12 +86,81 @@ class _Frame:
         self.return_pc = return_pc
 
 
+# -- shared helpers (used by both the tree walk and fast dispatch) ------
+
+def _make_locals(n_locals: int, args: Sequence[int]) -> List[int]:
+    locals_ = list(args) + [0] * (n_locals - len(args))
+    if len(locals_) < n_locals:
+        raise InterpreterFault("too few arguments for frame")
+    return locals_
+
+
+def _copy_in(program: Program, fields: Sequence[int],
+             arrays: Sequence[Sequence[int]], max_heap_words: int
+             ) -> Tuple[List[int], List[int], List[int], List[int],
+                        List[Tuple[int, int]]]:
+    """Validate inputs and build the per-invocation state snapshot.
+
+    Copy-in: scalars into a mutable field file, arrays into one
+    contiguous heap (Section 3.4.4: the enclave "creates a consistent
+    copy of the state needed by the program in the heap and stack").
+    Returns ``(field_file, heap, bases, lengths, writable_ranges)``.
+    """
+    if len(fields) != len(program.field_table):
+        raise InterpreterFault(
+            f"expected {len(program.field_table)} fields, got "
+            f"{len(fields)}", program.name)
+    if len(arrays) != len(program.array_table):
+        raise InterpreterFault(
+            f"expected {len(program.array_table)} arrays, got "
+            f"{len(arrays)}", program.name)
+    field_file = [wrap64(v) for v in fields]
+    heap: List[int] = []
+    bases: List[int] = []
+    lengths: List[int] = []
+    writable_ranges: List[Tuple[int, int]] = []
+    for ref, content in zip(program.array_table, arrays):
+        if len(content) % ref.stride:
+            raise InterpreterFault(
+                f"array {ref.scope}.{ref.name}: length "
+                f"{len(content)} not a multiple of stride "
+                f"{ref.stride}", program.name)
+        base = len(heap)
+        bases.append(base)
+        lengths.append(len(content) // ref.stride)
+        heap.extend(wrap64(v) for v in content)
+        if ref.writable:
+            writable_ranges.append((base, len(heap)))
+    if len(heap) > max_heap_words:
+        raise InterpreterFault(
+            f"heap of {len(heap)} words exceeds limit "
+            f"{max_heap_words}", program.name)
+    return field_file, heap, bases, lengths, writable_ranges
+
+
+def _finish(program: Program, result: int, field_file: List[int],
+            heap: List[int], bases: List[int], lengths: List[int],
+            stats: ExecStats) -> ExecResult:
+    arrays_out: List[List[int]] = []
+    for i, ref in enumerate(program.array_table):
+        base = bases[i]
+        size = lengths[i] * ref.stride
+        arrays_out.append(heap[base:base + size])
+    return ExecResult(value=result, fields=field_file,
+                      arrays=arrays_out, stats=stats)
+
+
 class Interpreter:
     """Executes compiled programs against prepared state snapshots.
 
     One interpreter instance can be shared by all programs of an
     enclave; it holds only configuration (limits) plus the RNG and clock
     sources, not per-invocation state.
+
+    ``dispatch`` selects the execution backend: ``"fast"`` (default)
+    runs the closure-threaded dispatch of :mod:`repro.lang.fastdispatch`;
+    ``"tree"`` runs the original decode-per-op loop.  The two are
+    semantically identical (enforced by ``tests/lang/test_differential``).
     """
 
     def __init__(self,
@@ -100,13 +169,22 @@ class Interpreter:
                  max_heap_words: int = DEFAULT_MAX_HEAP_WORDS,
                  op_budget: Optional[int] = None,
                  rng: Optional[random.Random] = None,
-                 clock: Optional[Callable[[], int]] = None) -> None:
+                 clock: Optional[Callable[[], int]] = None,
+                 dispatch: str = "fast") -> None:
         self.max_operand_stack = max_operand_stack
         self.max_call_depth = max_call_depth
         self.max_heap_words = max_heap_words
         self.op_budget = op_budget
         self.rng = rng if rng is not None else random.Random(0)
         self.clock = clock if clock is not None else (lambda: 0)
+        if dispatch not in ("fast", "tree"):
+            raise ValueError(
+                f"dispatch must be 'fast' or 'tree', got {dispatch!r}")
+        self.dispatch = dispatch
+        if dispatch == "fast":
+            # Deferred import: fastdispatch imports from this module.
+            from .fastdispatch import execute_fast
+            self._execute_fast = execute_fast
 
     def execute(self, program: Program,
                 fields: Sequence[int],
@@ -120,40 +198,18 @@ class Interpreter:
         stride.  Returns an :class:`ExecResult`; raises
         :class:`InterpreterFault` on any safety violation.
         """
-        if len(fields) != len(program.field_table):
-            raise InterpreterFault(
-                f"expected {len(program.field_table)} fields, got "
-                f"{len(fields)}", program.name)
-        if len(arrays) != len(program.array_table):
-            raise InterpreterFault(
-                f"expected {len(program.array_table)} arrays, got "
-                f"{len(arrays)}", program.name)
+        if self.dispatch == "fast":
+            return self._execute_fast(self, program, fields, arrays,
+                                      args)
+        return self.execute_tree(program, fields, arrays, args)
 
-        # Copy-in: scalars into a mutable field file, arrays into one
-        # contiguous heap (Section 3.4.4: the enclave "creates a
-        # consistent copy of the state needed by the program in the
-        # heap and stack").
-        field_file = [wrap64(v) for v in fields]
-        heap: List[int] = []
-        bases: List[int] = []
-        lengths: List[int] = []
-        writable_ranges: List[Tuple[int, int]] = []
-        for ref, content in zip(program.array_table, arrays):
-            if len(content) % ref.stride:
-                raise InterpreterFault(
-                    f"array {ref.scope}.{ref.name}: length "
-                    f"{len(content)} not a multiple of stride "
-                    f"{ref.stride}", program.name)
-            base = len(heap)
-            bases.append(base)
-            lengths.append(len(content) // ref.stride)
-            heap.extend(wrap64(v) for v in content)
-            if ref.writable:
-                writable_ranges.append((base, len(heap)))
-        if len(heap) > self.max_heap_words:
-            raise InterpreterFault(
-                f"heap of {len(heap)} words exceeds limit "
-                f"{self.max_heap_words}", program.name)
+    def execute_tree(self, program: Program,
+                     fields: Sequence[int],
+                     arrays: Sequence[Sequence[int]],
+                     args: Sequence[int] = ()) -> ExecResult:
+        """The original decode-per-op loop (the "slow path")."""
+        field_file, heap, bases, lengths, writable_ranges = _copy_in(
+            program, fields, arrays, self.max_heap_words)
 
         stats = ExecStats(heap_words=len(heap))
         entry = program.entry
@@ -333,7 +389,7 @@ class Interpreter:
                     result = stack.pop() if stack else 0
                     frames.pop()
                     if not frames:
-                        return self._finish(
+                        return _finish(
                             program, result, field_file, heap,
                             bases, lengths, stats)
                     return_pc = frame.return_pc
@@ -356,8 +412,8 @@ class Interpreter:
                     stack.append(clock_value)
                 elif op is Op.HALT:
                     result = stack.pop() if stack else 0
-                    return self._finish(program, result, field_file,
-                                        heap, bases, lengths, stats)
+                    return _finish(program, result, field_file,
+                                   heap, bases, lengths, stats)
                 else:
                     raise InterpreterFault(
                         f"unknown opcode {op!r}", program.name, pc)
@@ -379,19 +435,11 @@ class Interpreter:
 
     def _make_locals(self, n_locals: int,
                      args: Sequence[int]) -> List[int]:
-        locals_ = list(args) + [0] * (n_locals - len(args))
-        if len(locals_) < n_locals:
-            raise InterpreterFault("too few arguments for frame")
-        return locals_
+        return _make_locals(n_locals, args)
 
     def _finish(self, program: Program, result: int,
                 field_file: List[int], heap: List[int],
                 bases: List[int], lengths: List[int],
                 stats: ExecStats) -> ExecResult:
-        arrays_out: List[List[int]] = []
-        for i, ref in enumerate(program.array_table):
-            base = bases[i]
-            size = lengths[i] * ref.stride
-            arrays_out.append(heap[base:base + size])
-        return ExecResult(value=result, fields=field_file,
-                          arrays=arrays_out, stats=stats)
+        return _finish(program, result, field_file, heap, bases,
+                       lengths, stats)

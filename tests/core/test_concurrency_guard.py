@@ -1,0 +1,121 @@
+"""Regression tests for ConcurrencyGuard acquire/release edge cases.
+
+Section 3.4.4 derives the admissible parallelism from a function's
+write set; the guard enforces it.  These tests pin the interleaving
+semantics and — importantly for operators debugging violations — that
+every ``ConcurrencyViolation`` message names the offending message key.
+"""
+
+import pytest
+
+from repro.core.enclave import ConcurrencyGuard, ConcurrencyViolation
+from repro.core.state import ConcurrencyLevel
+
+
+class TestParallel:
+    def test_unbounded_interleaving(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PARALLEL)
+        for key in ("a", "a", "b", "c"):
+            guard.acquire(key)
+        for key in ("a", "b", "a", "c"):
+            guard.release(key)
+
+    def test_release_without_acquire_raises(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PARALLEL)
+        with pytest.raises(ConcurrencyViolation,
+                           match=r"release without matching acquire"):
+            guard.release("orphan")
+
+    def test_release_without_acquire_names_key(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PARALLEL)
+        with pytest.raises(ConcurrencyViolation, match=r"'orphan'"):
+            guard.release("orphan")
+
+
+class TestPerMessage:
+    def test_interleaved_distinct_keys_allowed(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PER_MESSAGE)
+        guard.acquire("m1")
+        guard.acquire("m2")
+        guard.release("m1")
+        guard.acquire("m3")
+        guard.release("m3")
+        guard.release("m2")
+
+    def test_double_acquire_same_key_raises(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PER_MESSAGE)
+        guard.acquire("m1")
+        with pytest.raises(ConcurrencyViolation, match=r"'m1'"):
+            guard.acquire("m1")
+
+    def test_failed_acquire_leaves_guard_usable(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PER_MESSAGE)
+        guard.acquire("m1")
+        with pytest.raises(ConcurrencyViolation):
+            guard.acquire("m1")
+        # The failed acquire must not have leaked a hold.
+        guard.release("m1")
+        guard.acquire("m1")
+        guard.release("m1")
+
+    def test_reacquire_after_release(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PER_MESSAGE)
+        guard.acquire("m1")
+        guard.release("m1")
+        guard.acquire("m1")
+        guard.release("m1")
+
+    def test_release_wrong_key_raises_and_names_it(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PER_MESSAGE)
+        guard.acquire("m1")
+        with pytest.raises(ConcurrencyViolation, match=r"'m2'"):
+            guard.release("m2")
+        guard.release("m1")
+
+    def test_double_release_raises(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.PER_MESSAGE)
+        guard.acquire("m1")
+        guard.release("m1")
+        with pytest.raises(ConcurrencyViolation, match=r"'m1'"):
+            guard.release("m1")
+
+    def test_tuple_keys(self):
+        # Flow five-tuples are real message keys in the enclave.
+        guard = ConcurrencyGuard(ConcurrencyLevel.PER_MESSAGE)
+        key = (10, 1234, 20, 80, 6)
+        guard.acquire(key)
+        with pytest.raises(ConcurrencyViolation, match=r"1234"):
+            guard.acquire(key)
+        guard.release(key)
+
+
+class TestSerial:
+    def test_one_invocation_at_a_time(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.SERIAL)
+        guard.acquire("m1")
+        with pytest.raises(ConcurrencyViolation, match=r"'m2'"):
+            guard.acquire("m2")
+        guard.release("m1")
+        guard.acquire("m2")
+        guard.release("m2")
+
+    def test_serial_blocks_even_same_key(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.SERIAL)
+        guard.acquire("m1")
+        with pytest.raises(ConcurrencyViolation, match=r"'m1'"):
+            guard.acquire("m1")
+        guard.release("m1")
+
+    def test_violation_message_names_blocked_key(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.SERIAL)
+        guard.acquire("holder")
+        with pytest.raises(ConcurrencyViolation) as exc:
+            guard.acquire("blocked")
+        assert "'blocked'" in str(exc.value)
+        assert "global state" in str(exc.value)
+
+    def test_release_without_acquire_raises(self):
+        guard = ConcurrencyGuard(ConcurrencyLevel.SERIAL)
+        with pytest.raises(ConcurrencyViolation,
+                           match=r"release without matching acquire"):
+            guard.release("m1")

@@ -1,0 +1,7 @@
+def f(packet, msg, _global):
+    v0 = packet.size % 97
+    v1 = msg.counter + 1
+    if msg.limit > 0:
+        v1 = v1 // (msg.counter % msg.limit + 1)
+    packet.queue_id = 1 << (v0 % 70)
+    packet.priority = v1 // (v0 - v0 + (_global.knob & 1))

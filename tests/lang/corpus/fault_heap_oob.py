@@ -1,0 +1,10 @@
+def f(packet, msg, _global):
+    v0 = packet.size % 97
+    v1 = msg.counter + 1
+    w1 = 0
+    while w1 < 6:
+        w1 += 1
+        _global.scratch[w1 % 8] = _global.weights[w1 % 8] + v1
+        if _global.knob > v0:
+            break
+    packet.priority = _global.weights[v0]

@@ -1,0 +1,10 @@
+def f(packet, msg, _global):
+    v0 = packet.size % 97
+    v1 = msg.counter + 1
+    packet.priority = 0
+    for i1 in range(8):
+        if _global.weights[i1 % 8] <= v0:
+            packet.priority = i1 + 1
+        else:
+            break
+    _global.scratch[v1 % 8] = packet.priority * 4

@@ -1,0 +1,8 @@
+def f(packet, msg, _global):
+    v0 = packet.size % 97
+    v1 = msg.counter + 1
+    v0 = 9223372036854775807 + v1
+    v1 = (v0 * 2862933555777941757) ^ (-9223372036854775808 // 3)
+    msg.counter = v1 % 1000003
+    packet.queue_id = (v1 >> 13) & 255
+    _global.knob = v0 - v1

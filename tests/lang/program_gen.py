@@ -1,0 +1,310 @@
+"""Seeded random DSL program generation + differential helpers.
+
+This module is plain-`random` (no hypothesis) so the same seed always
+yields the same program, which makes failures reproducible from a
+single integer and lets the corpus under ``tests/lang/corpus/`` replay
+byte-identical inputs in CI.  It is shared by:
+
+* ``test_differential.py`` — the three-backend differential harness;
+* ``test_fuzz_programs.py`` — pipeline fuzzing (compile/verify/optimize);
+* ``test_optimizer_properties.py`` — optimizer equivalence properties.
+
+The grammar covers scalar reads at every scope, writable packet /
+message / global scalars, local variables, ``if``/``else``, bounded
+``for`` and ``while`` loops with ``break``, boolean connectives, and
+global array reads/writes.  Array indices are always ``expr % 8`` and
+the input generator always materialises 8-element arrays, so programs
+exercise the heap without depending on out-of-bounds semantics (which
+the differential harness pins separately via the corpus).
+"""
+
+import ast
+import random
+
+from repro.lang import (DEFAULT_PACKET_SCHEMA, Interpreter,
+                        InterpreterFault, NativeFunction)
+from repro.lang.dsl import lower
+
+from conftest import GLB_SCHEMA, MSG_SCHEMA
+
+#: Op budget used by every differential run: far above anything the
+#: bounded loops below can execute, so tree/fast/native agree on
+#: termination, but a hard stop for a buggy compiled loop.
+OP_BUDGET = 200_000
+
+ATOMS = ("packet.size", "msg.counter", "msg.limit", "_global.knob",
+         "v0", "v1")
+BINOPS = ("+", "-", "*", "//", "%", "&", "|", "^")
+CMPS = ("<", "<=", "==", "!=", ">", ">=")
+WRITABLE = ("packet.priority", "packet.queue_id", "msg.counter",
+            "_global.knob", "v0", "v1")
+#: Arrays the generator touches; inputs always provide 8 elements.
+ARRAY_LEN = 8
+
+
+def lower_source(source):
+    """Lower one generated source with the shared test schemas."""
+    return lower(source, packet_schema=DEFAULT_PACKET_SCHEMA,
+                 message_schema=MSG_SCHEMA, global_schema=GLB_SCHEMA)
+
+
+class ProgramGen:
+    """Deterministic program generator for one seed."""
+
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self._loop_vars = []
+        self._uid = 0
+
+    # -- expressions ----------------------------------------------------
+
+    def expression(self, depth=2):
+        rng = self.rng
+        if depth == 0 or rng.random() < 0.4:
+            return self._atom()
+        roll = rng.random()
+        if roll < 0.12:
+            return "len(_global.weights)"
+        if roll < 0.24 and self._loop_vars:
+            idx = rng.choice(self._loop_vars + ["v0", "v1"])
+            return f"_global.weights[{idx} % {ARRAY_LEN}]"
+        left = self.expression(depth - 1)
+        right = self.expression(depth - 1)
+        return f"({left} {rng.choice(BINOPS)} {right})"
+
+    def _atom(self):
+        rng = self.rng
+        pool = list(ATOMS) + self._loop_vars
+        if rng.random() < 0.25:
+            if rng.random() < 0.1:
+                # Values near the 64-bit boundary exercise wraparound.
+                return str(rng.choice(
+                    (2**63 - 1, -2**63, 2**62, -2**62 + 1)))
+            return str(rng.randint(-50, 50))
+        return rng.choice(pool)
+
+    def condition(self, depth=1):
+        rng = self.rng
+        left = self.expression(depth)
+        right = self.expression(depth)
+        cond = f"{left} {rng.choice(CMPS)} {right}"
+        if depth > 0 and rng.random() < 0.2:
+            other = self.condition(depth - 1)
+            cond = f"({cond}) {rng.choice(('and', 'or'))} ({other})"
+        return cond
+
+    # -- statements -----------------------------------------------------
+
+    def statement(self, indent, depth):
+        rng = self.rng
+        pad = "    " * indent
+        kinds = ["assign", "assign", "augment", "scratch"]
+        if depth > 0:
+            kinds += ["if", "for", "while"]
+        kind = rng.choice(kinds)
+        if kind == "assign":
+            return [f"{pad}{rng.choice(WRITABLE)} = "
+                    f"{self.expression()}"]
+        if kind == "augment":
+            return [f"{pad}{rng.choice(WRITABLE)} "
+                    f"{rng.choice(('+=', '-=', '*='))} "
+                    f"{self.expression(1)}"]
+        if kind == "scratch":
+            idx = rng.choice(["v0", "v1"] + self._loop_vars)
+            return [f"{pad}_global.scratch[{idx} % {ARRAY_LEN}] = "
+                    f"{self.expression(1)}"]
+        if kind == "if":
+            lines = [f"{pad}if {self.condition()}:"]
+            lines += self.block(indent + 1, depth - 1)
+            if rng.random() < 0.5:
+                lines += [f"{pad}else:"]
+                lines += self.block(indent + 1, depth - 1)
+            return lines
+        if kind == "for":
+            var = f"i{self._next_uid()}"
+            bound = rng.randint(1, ARRAY_LEN)
+            lines = [f"{pad}for {var} in range({bound}):"]
+            self._loop_vars.append(var)
+            lines += self.block(indent + 1, depth - 1)
+            self._loop_vars.pop()
+            return lines
+        # while: a counter guarantees termination; an optional break
+        # exercises the loop-exit jumps.
+        var = f"w{self._next_uid()}"
+        bound = rng.randint(1, 6)
+        lines = [f"{pad}{var} = 0",
+                 f"{pad}while {var} < {bound}:",
+                 f"{pad}    {var} += 1"]
+        self._loop_vars.append(var)
+        body = self.block(indent + 1, depth - 1)
+        self._loop_vars.pop()
+        lines += body
+        if rng.random() < 0.4:
+            lines += [f"{pad}    if {self.condition(0)}:",
+                      f"{pad}        break"]
+        return lines
+
+    def block(self, indent, depth):
+        lines = []
+        for _ in range(self.rng.randint(1, 3)):
+            lines.extend(self.statement(indent, depth))
+        return lines
+
+    def program(self):
+        body = ["    v0 = packet.size % 97",
+                "    v1 = msg.counter + 1"]
+        body.extend(self.block(indent=1, depth=2))
+        return ("def f(packet, msg, _global):\n"
+                + "\n".join(body) + "\n")
+
+    def _next_uid(self):
+        self._uid += 1
+        return self._uid
+
+
+def generate_program(seed):
+    """The canonical seed -> source mapping."""
+    return ProgramGen(seed).program()
+
+
+def generate_inputs(program, seed):
+    """Seeded (fields, arrays) dicts aligned with ``program``'s tables.
+
+    Arrays referenced by generated programs are always 8 elements long
+    (times the stride), matching the ``% 8`` indexing in the grammar.
+    """
+    rng = random.Random(seed)
+
+    def value():
+        if rng.random() < 0.1:
+            return rng.choice((2**63 - 1, -2**63, 2**62, -2**61))
+        return rng.randint(-1000, 1000)
+
+    fields = {(ref.scope, ref.name): value()
+              for ref in program.field_table}
+    arrays = {(ref.scope, ref.name):
+              [value() for _ in range(ARRAY_LEN * ref.stride)]
+              for ref in program.array_table}
+    return fields, arrays
+
+
+def vectors(program, fields, arrays):
+    """Positional field/array vectors for ``Interpreter.execute``."""
+    fvec = [fields.get((r.scope, r.name), 0)
+            for r in program.field_table]
+    avec = [list(arrays.get((r.scope, r.name), ()))
+            for r in program.array_table]
+    return fvec, avec
+
+
+# -- backend runners ----------------------------------------------------
+
+def run_interp(program, fvec, avec, dispatch, seed=3,
+               op_budget=OP_BUDGET, **limits):
+    """One interpreter run, summarised as a comparable tuple.
+
+    Faults summarise as ``("fault", class name, reason)`` so the
+    differential harness compares fault *identity*, not just ok-ness.
+    """
+    interp = Interpreter(dispatch=dispatch, rng=random.Random(seed),
+                         op_budget=op_budget, **limits)
+    try:
+        r = interp.execute(program, list(fvec),
+                           [list(a) for a in avec])
+    except InterpreterFault as fault:
+        return ("fault", type(fault).__name__, fault.reason)
+    return ("ok", r.value, r.fields, r.arrays,
+            (r.stats.ops_executed, r.stats.max_operand_stack,
+             r.stats.max_call_depth, r.stats.heap_words))
+
+
+def run_native(prog_ast, program, fvec, avec, seed=3):
+    """One native-backend run; summarised without stats.
+
+    Native fault *reasons* differ legitimately (e.g. Python's
+    ZeroDivisionError text, RecursionError for call depth), so only
+    the fault/ok outcome participates in cross-backend comparison.
+    """
+    native = NativeFunction(prog_ast, program, rng=random.Random(seed))
+    try:
+        r = native.execute(list(fvec), [list(a) for a in avec])
+    except InterpreterFault:
+        return ("fault",)
+    return ("ok", r.value, r.fields, r.arrays)
+
+
+def check_parity(prog_ast, program, fields, arrays, seed=3,
+                 native=True):
+    """Run all backends on one input; return an error string or None.
+
+    tree vs fast must agree on everything — value, fields, arrays,
+    stats, fault class and fault reason.  native must agree on the
+    fault/ok outcome and, when ok, on (value, fields, arrays).
+    """
+    fvec, avec = vectors(program, fields, arrays)
+    tree = run_interp(program, fvec, avec, "tree", seed=seed)
+    fast = run_interp(program, fvec, avec, "fast", seed=seed)
+    if tree != fast:
+        return (f"tree/fast divergence on fields={fields!r} "
+                f"arrays={arrays!r}:\n  tree={tree!r}\n  fast={fast!r}")
+    if native:
+        nat = run_native(prog_ast, program, fvec, avec, seed=seed)
+        if nat[0] != tree[0]:
+            return (f"native outcome differs on fields={fields!r} "
+                    f"arrays={arrays!r}: interp={tree!r} "
+                    f"native={nat!r}")
+        if nat[0] == "ok" and nat[1:] != (tree[1], tree[2], tree[3]):
+            return (f"native result differs on fields={fields!r} "
+                    f"arrays={arrays!r}: interp={tree!r} "
+                    f"native={nat!r}")
+    return None
+
+
+# -- minimization -------------------------------------------------------
+
+def _indent(line):
+    return len(line) - len(line.lstrip(" "))
+
+
+def _block_span(lines, idx):
+    """End index of the statement at ``idx`` including its suite."""
+    indent = _indent(lines[idx])
+    j = idx + 1
+    while j < len(lines) and (not lines[j].strip()
+                              or _indent(lines[j]) > indent):
+        j += 1
+    return j
+
+
+def _parses(lines):
+    if len(lines) < 2:
+        return False
+    try:
+        ast.parse("\n".join(lines) + "\n")
+        return True
+    except SyntaxError:
+        return False
+
+
+def minimize(source, still_fails):
+    """Greedy block-aware line removal while ``still_fails`` holds.
+
+    ``still_fails(candidate_source)`` must return True only when the
+    candidate reproduces the *original* failure (compile errors from
+    over-aggressive removal should return False).
+    """
+    lines = source.rstrip("\n").splitlines()
+    changed = True
+    while changed:
+        changed = False
+        i = 1  # keep the def line
+        while i < len(lines):
+            end = _block_span(lines, i)
+            candidate = lines[:i] + lines[end:]
+            if _parses(candidate) and \
+                    still_fails("\n".join(candidate) + "\n"):
+                lines = candidate
+                changed = True
+            else:
+                i = end
+    return "\n".join(lines) + "\n"

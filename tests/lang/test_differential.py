@@ -1,0 +1,171 @@
+"""Three-backend differential harness: tree walk vs fast dispatch vs native.
+
+This is the correctness guard for the fast-dispatch interpreter and the
+enclave hot path: every DSL program in the repo (the §5 functions
+library via ``table1()``) plus hundreds of seeded fuzz programs run
+through
+
+* the original decode-per-op tree walk  (``Interpreter(dispatch="tree")``),
+* the closure-threaded fast dispatch    (``Interpreter(dispatch="fast")``),
+* the native compiled backend           (``repro.lang.native``),
+
+on randomized-but-seeded inputs.  tree and fast must agree bit-for-bit
+on ``(value, fields, arrays)``, on ``ExecStats``, and on the fault
+class *and reason*; native must agree on the fault/ok outcome and the
+result triple (its fault wording legitimately differs — see
+``program_gen.run_native``).
+
+Any fuzz failure is minimized (``program_gen.minimize``) and persisted
+into ``tests/lang/corpus/``; the corpus is replayed here in CI so past
+failures stay fixed.
+
+Run just this harness with ``pytest -m differential``.
+"""
+
+import glob
+import os
+import random
+import zlib
+
+import pytest
+
+from repro.lang import DEFAULT_PACKET_SCHEMA
+from repro.lang.compiler import compile_action, compile_ast
+from repro.functions.library import table1
+
+import program_gen as pg
+
+pytestmark = pytest.mark.differential
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+#: ≥200 seeded fuzz programs (acceptance criterion).
+FUZZ_SEEDS = range(240)
+#: Distinct seeded input snapshots per program.
+INPUTS_PER_PROGRAM = 2
+
+
+def _stable_seed(text):
+    return zlib.crc32(text.encode())
+
+
+def _library_entries():
+    return [e for e in table1() if e.demo is not None]
+
+
+def _compile_demo(demo):
+    return compile_action(demo.action,
+                          packet_schema=DEFAULT_PACKET_SCHEMA,
+                          message_schema=demo.message_schema,
+                          global_schema=demo.global_schema,
+                          name=demo.function_name)
+
+
+class TestLibraryPrograms:
+    """Every program of the §5 functions library, on seeded inputs."""
+
+    def test_covers_whole_library(self):
+        entries = _library_entries()
+        # Table 1 ships 13+ runnable demos; if this shrinks, the
+        # differential net has a hole.
+        assert len(entries) >= 13
+
+    @pytest.mark.parametrize(
+        "entry", _library_entries(), ids=lambda e: e.name)
+    def test_backends_agree(self, entry):
+        prog_ast, program = _compile_demo(entry.demo)
+        base = _stable_seed(entry.name)
+        for i in range(4):
+            fields, arrays = pg.generate_inputs(program, base + i)
+            err = pg.check_parity(prog_ast, program, fields, arrays,
+                                  seed=base % 1000 + i)
+            assert err is None, f"{entry.name}: {err}"
+
+
+class TestFuzzedPrograms:
+    """Seeded random programs through all three backends."""
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_backends_agree(self, seed):
+        source = pg.generate_program(seed)
+        prog_ast = pg.lower_source(source)
+        program = compile_ast(prog_ast)
+        for i in range(INPUTS_PER_PROGRAM):
+            fields, arrays = pg.generate_inputs(program,
+                                                seed * 31 + i)
+            err = pg.check_parity(prog_ast, program, fields, arrays)
+            if err is not None:
+                path = _persist_failure(source, fields, arrays, seed)
+                pytest.fail(
+                    f"seed {seed}: {err}\n"
+                    f"minimized reproducer saved to {path}")
+
+    def test_fuzz_exercises_both_outcomes(self):
+        """The net catches faults, not just happy paths."""
+        outcomes = set()
+        for seed in range(40):
+            source = pg.generate_program(seed)
+            prog_ast = pg.lower_source(source)
+            program = compile_ast(prog_ast)
+            fields, arrays = pg.generate_inputs(program, seed * 31)
+            fvec, avec = pg.vectors(program, fields, arrays)
+            outcomes.add(
+                pg.run_interp(program, fvec, avec, "fast")[0])
+            if outcomes == {"ok", "fault"}:
+                return
+        assert outcomes == {"ok", "fault"}
+
+
+def _persist_failure(source, fields, arrays, seed):
+    """Minimize a failing program against its inputs and save it."""
+
+    def still_fails(candidate):
+        try:
+            past = pg.lower_source(candidate)
+            prog = compile_ast(past)
+        except Exception:
+            return False
+        return pg.check_parity(past, prog, fields, arrays) is not None
+
+    minimized = pg.minimize(source, still_fails)
+    os.makedirs(CORPUS_DIR, exist_ok=True)
+    path = os.path.join(CORPUS_DIR, f"failing_seed{seed}.py")
+    with open(path, "w") as fh:
+        fh.write(minimized)
+    return path
+
+
+class TestCorpus:
+    """Replay persisted (minimized) reproducers on every CI run."""
+
+    @pytest.mark.parametrize(
+        "path", sorted(glob.glob(os.path.join(CORPUS_DIR, "*.py"))),
+        ids=os.path.basename)
+    def test_corpus_program_parity(self, path):
+        with open(path) as fh:
+            source = fh.read()
+        prog_ast = pg.lower_source(source)
+        program = compile_ast(prog_ast)
+        base = _stable_seed(os.path.basename(path))
+        for i in range(6):
+            fields, arrays = pg.generate_inputs(program, base + i)
+            err = pg.check_parity(prog_ast, program, fields, arrays)
+            assert err is None, f"{path}: {err}"
+
+    def test_corpus_fault_program_faults_identically(self):
+        """A deterministic fault: division by zero when knob is even."""
+        path = os.path.join(CORPUS_DIR, "fault_div_and_shift.py")
+        with open(path) as fh:
+            source = fh.read()
+        prog_ast = pg.lower_source(source)
+        program = compile_ast(prog_ast)
+        fields = {("packet", "size"): 3, ("message", "counter"): 1,
+                  ("message", "limit"): 5, ("global", "knob"): 0}
+        fvec, avec = pg.vectors(program, fields, {})
+        tree = pg.run_interp(program, fvec, avec, "tree")
+        fast = pg.run_interp(program, fvec, avec, "fast")
+        assert tree[0] == "fault"
+        assert tree == fast
+        assert tree[1] == "InterpreterFault"
+        assert "division by zero" in tree[2]
+        nat = pg.run_native(prog_ast, program, fvec, avec)
+        assert nat[0] == "fault"
