@@ -9,6 +9,7 @@ Runs any of the paper-reproduction experiments without writing code:
     python -m repro fig12 --duration-ms 20
     python -m repro micro --packets 300
     python -m repro bench-smoke
+    python -m repro control-demo --loss 0.1
 """
 
 from __future__ import annotations
@@ -133,6 +134,22 @@ def _cmd_bench_smoke(args) -> int:
     return status
 
 
+def _cmd_control_demo(args) -> int:
+    """Lossy control-channel convergence scenario (repro.control).
+
+    Runs PIAS + WCMP under injected control-message loss plus one
+    enclave restart, and fails unless every enclave converged to the
+    controller's desired state and the stale-epoch install was
+    rejected.
+    """
+    from .experiments import control_demo
+    result = control_demo.run_scenario(
+        seed=args.seed, loss=args.loss,
+        duration_ms=args.duration_ms, num_hosts=args.hosts)
+    print(control_demo.format_result(result))
+    return 0 if result.converged else 1
+
+
 def _cmd_report(args) -> int:
     """Regenerate the full evaluation into one markdown report."""
     from .experiments import fig9, fig10, fig11, fig12, micro
@@ -180,6 +197,8 @@ _COMMANDS = {
     "micro": (_cmd_micro, "interpreter microbenchmarks"),
     "bench-smoke": (_cmd_bench_smoke,
                     "dispatch-speed regression gate vs baseline JSON"),
+    "control-demo": (_cmd_control_demo,
+                     "lossy control-channel PIAS/WCMP convergence"),
     "report": (_cmd_report, "run everything, write a markdown report"),
 }
 
@@ -215,6 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--update-baseline", action="store_true",
                            help="rewrite the baseline instead of "
                                 "checking against it")
+        if name == "control-demo":
+            p.add_argument("--loss", type=float, default=0.10,
+                           help="control-message drop probability")
+            p.add_argument("--duration-ms", type=int, default=400,
+                           help="simulated milliseconds (lossy window)")
+            p.add_argument("--hosts", type=int, default=3,
+                           help="number of managed enclaves")
         if name == "report":
             p.add_argument("--out", default="report.md",
                            help="output markdown path")

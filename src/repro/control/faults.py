@@ -1,0 +1,105 @@
+"""Fault injection for the control channel.
+
+The paper's control loop is coarse-timescale and must survive an
+imperfect network between controller and enclaves.  This harness makes
+that imperfection explicit and deterministic: a
+:class:`FaultInjector` sits inside :class:`~repro.control.transport.
+SimTransport` and decides, per envelope, whether to drop, duplicate or
+extra-delay it, and whether either endpoint is currently partitioned.
+Enclave restarts (losing all data-plane soft state, to be replayed
+from the controller's desired-state table) are injected with
+:func:`schedule_restart`.
+
+All randomness comes from the injected :class:`random.Random` —
+normally the simulator's seeded RNG — so every fault schedule is
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set
+
+from .messages import Envelope
+
+
+class FaultInjector:
+    """Drops, duplicates, delays and partitions control messages.
+
+    Probabilities are evaluated independently per send; a partition
+    beats everything (no traffic in or out of a partitioned address).
+    ``extra_delay_ns`` is the *maximum* additional one-way latency; the
+    actual value is drawn uniformly per delivery.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 drop_prob: float = 0.0,
+                 dup_prob: float = 0.0,
+                 extra_delay_ns: int = 0) -> None:
+        for name, p in (("drop_prob", drop_prob),
+                        ("dup_prob", dup_prob)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.rng = rng if rng is not None else random.Random(0)
+        self.drop_prob = drop_prob
+        self.dup_prob = dup_prob
+        self.extra_delay_ns = extra_delay_ns
+        self._partitioned: Set[str] = set()
+        self.dropped = 0
+        self.duplicated = 0
+        self.partition_drops = 0
+
+    # -- partitions --------------------------------------------------------
+
+    def partition(self, address: str) -> None:
+        """Cut the endpoint ``address`` off from everyone."""
+        self._partitioned.add(address)
+
+    def heal(self, address: str) -> None:
+        self._partitioned.discard(address)
+
+    def heal_all(self) -> None:
+        self._partitioned.clear()
+
+    def is_partitioned(self, address: str) -> bool:
+        return address in self._partitioned
+
+    # -- per-envelope decisions -------------------------------------------
+
+    def deliveries(self, env: Envelope) -> int:
+        """How many copies of ``env`` to deliver (0 = lost).
+
+        Duplication models a retransmit racing its own ack; both
+        copies then exercise the receiver's dedup path.
+        """
+        if env.src in self._partitioned or env.dst in self._partitioned:
+            self.partition_drops += 1
+            return 0
+        if self.drop_prob and self.rng.random() < self.drop_prob:
+            self.dropped += 1
+            return 0
+        if self.dup_prob and self.rng.random() < self.dup_prob:
+            self.duplicated += 1
+            return 2
+        return 1
+
+    def extra_delay(self) -> int:
+        if self.extra_delay_ns <= 0:
+            return 0
+        return self.rng.randrange(self.extra_delay_ns + 1)
+
+    def summary(self) -> dict:
+        return {"dropped": self.dropped,
+                "duplicated": self.duplicated,
+                "partition_drops": self.partition_drops,
+                "partitioned": sorted(self._partitioned)}
+
+
+def schedule_restart(sim, at_ns: int, agent) -> None:
+    """Restart ``agent``'s enclave at absolute sim time ``at_ns``.
+
+    The agent loses all soft state (installed functions, rules,
+    globals, epochs, channel sessions) and announces itself to the
+    controller with a ``Hello``, triggering desired-state replay.
+    """
+    sim.at(at_ns, agent.restart)

@@ -1,0 +1,287 @@
+"""The controller side of the control channel.
+
+:class:`ControlPlane` owns the *desired-state table*: for every host,
+the authoritative record of which functions, rules and globals its
+enclave should be running, stamped with a per-host monotonic epoch
+that is bumped on every change.  Every mutating operation updates the
+desired state first, then rolls the change out through the reliable
+channel.  Because the desired state is authoritative, recovery is
+uniform: whenever an agent reconnects (``Hello`` after an enclave
+restart or partition), the plane fences the old session and replays
+the full desired state at the current epoch.
+
+Telemetry flows the other way: agents push ``StatsReport`` messages
+(best-effort), the plane records the latest per host and feeds every
+registered *control loop* — closing the paper's coarse-timescale loop
+(Section 2.1: PIAS thresholds from the observed flow-size
+distribution, WCMP weights from observed path capacities).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .agent import agent_address
+from .channel import (ChannelConfig, ControlEndpoint, Outcome,
+                      PendingSend)
+from .messages import (ControlError, ControlMessage, GLOBAL_ARRAY,
+                       GLOBAL_KEYED, GLOBAL_RECORDS, GLOBAL_SCALAR,
+                       Hello, InstallFunction, InstallRule,
+                       ReplaceFunction, RuleSpec, STALE_EPOCH,
+                       StatsReport, UpdateGlobals, UpdateRules)
+from .transport import Transport
+
+
+@dataclass
+class FunctionSpec:
+    """Desired configuration of one installed function."""
+
+    source_fn: object
+    kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class DesiredState:
+    """What one host's enclave should be running."""
+
+    epoch: int = 0
+    #: name -> spec, in install order (replay preserves it).
+    functions: Dict[str, FunctionSpec] = field(default_factory=dict)
+    #: appended by install_rule / replaced wholesale by update_rules.
+    rules: List[RuleSpec] = field(default_factory=list)
+    #: (function, name, kind, key) -> values; last writer wins.
+    globals: Dict[Tuple[str, str, str, Optional[tuple]], object] = \
+        field(default_factory=dict)
+
+
+class ControlLoop:
+    """Interface for telemetry-driven reconfiguration loops."""
+
+    def on_report(self, host: str, report: StatsReport) -> None:
+        raise NotImplementedError
+
+
+class ControlPlane:
+    """Versioned rollouts plus telemetry ingestion for all hosts."""
+
+    def __init__(self, transport: Transport, scheduler=None,
+                 rng: Optional[random.Random] = None,
+                 config: Optional[ChannelConfig] = None,
+                 address: str = "controller") -> None:
+        self.address = address
+        self.transport = transport
+        self.endpoint = ControlEndpoint(
+            address, transport, scheduler=scheduler, rng=rng,
+            config=config, handler=self._handle)
+        self.endpoint.on_nack = self._record_nack
+        self._desired: Dict[str, DesiredState] = {}
+        self._agent_addrs: Dict[str, str] = {}
+        self.latest_report: Dict[str, StatsReport] = {}
+        self.reports_received = 0
+        self.hellos_handled = 0
+        self.replays = 0
+        self.stale_nacks_seen = 0
+        self.nack_log: List[Tuple[str, str]] = []
+        self._loops: List[ControlLoop] = []
+
+    # -- registry ----------------------------------------------------------
+
+    def attach(self, host: str,
+               address: Optional[str] = None) -> None:
+        """Start managing the enclave agent at ``host``."""
+        if host in self._agent_addrs:
+            raise ControlError(f"host {host!r} already attached")
+        self._agent_addrs[host] = (address if address is not None
+                                   else agent_address(host))
+        self._desired[host] = DesiredState()
+
+    def hosts(self) -> List[str]:
+        return sorted(self._agent_addrs)
+
+    def desired(self, host: str) -> DesiredState:
+        try:
+            return self._desired[host]
+        except KeyError:
+            raise ControlError(
+                f"host {host!r} not attached to the control plane"
+            ) from None
+
+    def agent_addr(self, host: str) -> str:
+        self.desired(host)
+        return self._agent_addrs[host]
+
+    # -- versioned mutations ----------------------------------------------
+
+    def _send(self, host: str, msg: ControlMessage) -> PendingSend:
+        return self.endpoint.send(self.agent_addr(host), msg)
+
+    def install_function(self, host: str, name: str, source_fn,
+                         **kwargs) -> PendingSend:
+        ds = self.desired(host)
+        ds.epoch += 1
+        ds.functions[name] = FunctionSpec(source_fn, dict(kwargs))
+        return self._send(host, InstallFunction(
+            host=host, epoch=ds.epoch, name=name,
+            source_fn=source_fn, kwargs=dict(kwargs)))
+
+    def replace_function(self, host: str, name: str, source_fn,
+                         **kwargs) -> PendingSend:
+        ds = self.desired(host)
+        ds.epoch += 1
+        spec = ds.functions.get(name)
+        if spec is None:
+            # Adopt a function that was installed out-of-band so the
+            # replacement survives a restart replay.
+            ds.functions[name] = FunctionSpec(source_fn, dict(kwargs))
+        else:
+            spec.source_fn = source_fn
+            spec.kwargs.update(kwargs)
+        return self._send(host, ReplaceFunction(
+            host=host, epoch=ds.epoch, name=name,
+            source_fn=source_fn, kwargs=dict(kwargs)))
+
+    def install_rule(self, host: str, pattern: str, function: str,
+                     table_id: int = 0, priority: int = 0,
+                     next_table: Optional[int] = None) -> PendingSend:
+        ds = self.desired(host)
+        ds.epoch += 1
+        spec = RuleSpec(pattern=pattern, function=function,
+                        table_id=table_id, priority=priority,
+                        next_table=next_table)
+        ds.rules.append(spec)
+        return self._send(host, InstallRule(host=host, epoch=ds.epoch,
+                                            rule=spec))
+
+    def update_rules(self, host: str,
+                     rules: List[RuleSpec]) -> PendingSend:
+        ds = self.desired(host)
+        ds.epoch += 1
+        ds.rules = list(rules)
+        return self._send(host, UpdateRules(host=host, epoch=ds.epoch,
+                                            rules=tuple(rules)))
+
+    def set_global(self, host: str, function: str, name: str,
+                   value: int) -> PendingSend:
+        return self._set_global(host, function, name, GLOBAL_SCALAR,
+                                None, value)
+
+    def set_global_array(self, host: str, function: str, name: str,
+                         values) -> PendingSend:
+        return self._set_global(host, function, name, GLOBAL_ARRAY,
+                                None, tuple(values))
+
+    def set_global_records(self, host: str, function: str, name: str,
+                           records) -> PendingSend:
+        frozen = tuple(tuple(r) for r in records)
+        return self._set_global(host, function, name, GLOBAL_RECORDS,
+                                None, frozen)
+
+    def set_global_keyed(self, host: str, function: str, name: str,
+                         key: tuple, values) -> PendingSend:
+        return self._set_global(host, function, name, GLOBAL_KEYED,
+                                tuple(key), tuple(values))
+
+    def _set_global(self, host: str, function: str, name: str,
+                    kind: str, key: Optional[tuple],
+                    values) -> PendingSend:
+        ds = self.desired(host)
+        ds.epoch += 1
+        ds.globals[(function, name, kind, key)] = values
+        return self._send(host, UpdateGlobals(
+            host=host, epoch=ds.epoch, function=function, name=name,
+            kind=kind, key=key, values=values))
+
+    # -- recovery ----------------------------------------------------------
+
+    def replay(self, host: str) -> List[PendingSend]:
+        """Fence the old session and re-send the desired state.
+
+        Install order is preserved; globals follow their functions;
+        the rule set goes last as one idempotent ``UpdateRules`` —
+        so a freshly restarted (empty) enclave converges to exactly
+        the desired state, and a live enclave is unchanged.
+        """
+        ds = self.desired(host)
+        self.endpoint.reset_peer(self.agent_addr(host))
+        self.replays += 1
+        sends: List[PendingSend] = []
+        for name, spec in ds.functions.items():
+            sends.append(self._send(host, InstallFunction(
+                host=host, epoch=ds.epoch, name=name,
+                source_fn=spec.source_fn, kwargs=dict(spec.kwargs))))
+        for (function, gname, kind, key), values in \
+                ds.globals.items():
+            sends.append(self._send(host, UpdateGlobals(
+                host=host, epoch=ds.epoch, function=function,
+                name=gname, kind=kind, key=key, values=values)))
+        sends.append(self._send(host, UpdateRules(
+            host=host, epoch=ds.epoch, rules=tuple(ds.rules))))
+        return sends
+
+    # -- inbound traffic ---------------------------------------------------
+
+    def _handle(self, src: str,
+                payload: ControlMessage) -> Optional[Outcome]:
+        if isinstance(payload, Hello):
+            self.hellos_handled += 1
+            host = payload.host
+            if host in self._agent_addrs:
+                # Ack the Hello first (the outcome), then replay on
+                # the fresh session.
+                self.replay(host)
+                return Outcome(True, result=self.desired(host).epoch)
+            return Outcome(False,
+                           reason=f"unknown host {host!r}")
+        if isinstance(payload, StatsReport):
+            self.reports_received += 1
+            self.latest_report[payload.host] = payload
+            for loop in self._loops:
+                loop.on_report(payload.host, payload)
+            return Outcome(True)
+        raise ControlError(
+            f"controller: unexpected {type(payload).__name__} "
+            f"from {src}")
+
+    def _record_nack(self, peer: str, pending: PendingSend) -> None:
+        self.nack_log.append((peer, pending.reason))
+        if pending.reason == STALE_EPOCH:
+            self.stale_nacks_seen += 1
+
+    # -- control loops -----------------------------------------------------
+
+    def add_loop(self, loop: ControlLoop) -> None:
+        self._loops.append(loop)
+
+    def clear_loops(self) -> None:
+        """Detach all control loops (telemetry keeps arriving but no
+        longer triggers reconfiguration)."""
+        self._loops.clear()
+
+    # -- convergence -------------------------------------------------------
+
+    def pending_count(self) -> int:
+        return self.endpoint.pending_count()
+
+    def in_sync(self, host: str) -> bool:
+        """All rollouts to ``host`` delivered and the agent reports
+        (via its last telemetry) the current epoch."""
+        if self.endpoint.pending_count(self.agent_addr(host)):
+            return False
+        report = self.latest_report.get(host)
+        return (report is not None and
+                report.applied_epoch >= self.desired(host).epoch)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "hosts": {h: {"epoch": self.desired(h).epoch,
+                          "pending": self.endpoint.pending_count(
+                              self.agent_addr(h))}
+                      for h in self.hosts()},
+            "channel": self.endpoint.stats.as_dict(),
+            "reports_received": self.reports_received,
+            "hellos_handled": self.hellos_handled,
+            "replays": self.replays,
+            "stale_nacks_seen": self.stale_nacks_seen,
+        }

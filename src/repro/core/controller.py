@@ -6,28 +6,48 @@ data-plane part executed by stages and enclaves.  The controller hosts
 the former and programs the latter through the Stage API (Table 3) and
 the enclave API.
 
-This module provides:
+Since the control-plane channel landed (:mod:`repro.control`), the
+enclave API here is a thin facade over that channel: every mutating
+call becomes a typed control message, versioned with the target
+enclave's epoch, and travels through the reliable channel to the
+host's :class:`~repro.control.agent.EnclaveAgent`.
 
-* a registry of the stages and enclaves at every end host, with
-  API passthroughs so network-function deployments address them by
-  host id;
-* the control-plane computations used by the paper's case studies —
-  WCMP path weights from topology (Section 2.1.1), PIAS priority
-  thresholds from the flow-size distribution (Section 2.1.3), and
-  Pulsar's tenant queue map (Section 2.1.2).
+* ``transport="inproc"`` (the default) uses a synchronous, lossless
+  in-process transport: each call is delivered, applied and acked
+  before it returns, results come back synchronously, and apply
+  errors re-raise in the caller — the original direct-call semantics,
+  preserved exactly.
+* ``transport="sim"`` (with a :class:`~repro.netsim.simulator.
+  Simulator`) schedules delivery as simulator events with configurable
+  delay, jitter and injected faults; mutating calls return
+  :class:`~repro.control.channel.PendingSend` handles that complete as
+  acks arrive.
+
+This module also keeps the control-plane computations used by the
+paper's case studies — WCMP path weights from topology
+(Section 2.1.1), PIAS priority thresholds from the flow-size
+distribution (Section 2.1.3), and Pulsar's tenant queue map
+(Section 2.1.2).
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import (Dict, Iterable, List, Sequence, Tuple, Union)
+from typing import (Dict, Iterable, List, Optional, Sequence, Tuple,
+                    Union)
 
+from ..control import (ChannelConfig, ControlPlane, EnclaveAgent,
+                       FaultInjector, InprocTransport, SimTransport,
+                       Transport)
+from ..control.channel import PendingSend
 from .enclave import Enclave, InstalledFunction
 from .stage import Classifier, Stage, StageInfo
 
 
 class ControllerError(Exception):
-    """A controller operation referenced an unknown host/stage/enclave."""
+    """A controller operation referenced an unknown host/stage/enclave
+    or was otherwise invalid."""
 
 
 @dataclass(frozen=True)
@@ -47,10 +67,43 @@ class PathWeight:
 class Controller:
     """Coordination point with global visibility."""
 
-    def __init__(self, name: str = "controller") -> None:
+    def __init__(self, name: str = "controller",
+                 transport: Union[str, Transport] = "inproc",
+                 sim=None,
+                 channel_config: Optional[ChannelConfig] = None,
+                 faults: Optional[FaultInjector] = None) -> None:
         self.name = name
         self._enclaves: Dict[str, Enclave] = {}
         self._stages: Dict[Tuple[str, str], Stage] = {}
+        self._agents: Dict[str, EnclaveAgent] = {}
+        self.sim = sim
+        if isinstance(transport, Transport):
+            self.transport = transport
+        elif transport == "inproc":
+            self.transport = InprocTransport()
+        elif transport == "sim":
+            if sim is None:
+                raise ControllerError(
+                    "transport='sim' needs a Simulator instance")
+            self.transport = SimTransport(sim, faults=faults)
+        else:
+            raise ControllerError(
+                f"unknown transport {transport!r}; use 'inproc', "
+                f"'sim', or a Transport instance")
+        self._scheduler = sim if not self.transport.synchronous \
+            else None
+        self._rng = sim.rng if sim is not None else random.Random(0)
+        self._channel_config = channel_config
+        self.plane = ControlPlane(self.transport,
+                                  scheduler=self._scheduler,
+                                  rng=self._rng,
+                                  config=channel_config,
+                                  address=f"{name}")
+
+    @property
+    def synchronous(self) -> bool:
+        """True when enclave-API calls complete before returning."""
+        return self.transport.synchronous
 
     # -- registry ----------------------------------------------------------
 
@@ -59,6 +112,13 @@ class Controller:
             raise ControllerError(
                 f"host {host!r} already has an enclave")
         self._enclaves[host] = enclave
+        agent = EnclaveAgent(host, enclave, self.transport,
+                             scheduler=self._scheduler,
+                             rng=self._rng,
+                             config=self._channel_config,
+                             controller_address=self.plane.address)
+        self._agents[host] = agent
+        self.plane.attach(host, agent.address)
 
     def register_stage(self, host: str, stage: Stage) -> None:
         key = (host, stage.name)
@@ -73,6 +133,13 @@ class Controller:
         except KeyError:
             raise ControllerError(
                 f"no enclave registered for host {host!r}") from None
+
+    def agent(self, host: str) -> EnclaveAgent:
+        try:
+            return self._agents[host]
+        except KeyError:
+            raise ControllerError(
+                f"no agent for host {host!r}") from None
 
     def stage(self, host: str, stage_name: str) -> Stage:
         try:
@@ -103,60 +170,109 @@ class Controller:
                           rule_set: str, rule_id: int) -> None:
         self.stage(host, stage_name).remove_stage_rule(rule_set, rule_id)
 
-    # -- enclave API passthrough -------------------------------------------
+    # -- enclave API (routed through the control channel) -------------------
+
+    def _finish(self, pending: PendingSend):
+        """Resolve one channel send in synchronous (inproc) mode."""
+        if not self.synchronous:
+            return pending
+        if pending.nacked:
+            if pending.error is not None:
+                raise pending.error
+            raise ControllerError(
+                f"control message rejected: {pending.reason}")
+        return pending.result
 
     def install_function(self, hosts: Union[str, Iterable[str]],
-                         source_fn, **kwargs) -> List[InstalledFunction]:
-        """Install an action function at one or many hosts."""
-        installed = []
+                         source_fn, **kwargs) -> List:
+        """Install an action function at one or many hosts.
+
+        Synchronous mode returns the installed
+        :class:`InstalledFunction` objects; over an asynchronous
+        transport it returns the in-flight ``PendingSend`` handles.
+        """
+        name = kwargs.pop("name", None) or \
+            getattr(source_fn, "__name__", "action")
+        out = []
         for host in self._host_list(hosts):
-            installed.append(
-                self.enclave(host).install_function(source_fn, **kwargs))
-        return installed
+            self.enclave(host)  # unknown hosts fail fast
+            out.append(self._finish(self.plane.install_function(
+                host, name, source_fn, **kwargs)))
+        return out
 
     def install_rule(self, hosts: Union[str, Iterable[str]],
                      pattern: str, function: str,
-                     **kwargs) -> List[int]:
-        return [self.enclave(h).install_rule(pattern, function, **kwargs)
-                for h in self._host_list(hosts)]
+                     **kwargs) -> List:
+        """Install a match-action rule; returns rule ids (sync mode)."""
+        out = []
+        for host in self._host_list(hosts):
+            self.enclave(host)
+            out.append(self._finish(self.plane.install_rule(
+                host, pattern, function, **kwargs)))
+        return out
 
     def set_global(self, hosts: Union[str, Iterable[str]],
-                   function: str, name: str, value: int) -> None:
-        for host in self._host_list(hosts):
-            self.enclave(host).set_global(function, name, value)
+                   function: str, name: str, value: int) -> Optional[
+                       List[PendingSend]]:
+        return self._fan_out_globals(
+            hosts, lambda host: self.plane.set_global(
+                host, function, name, value))
 
     def set_global_records(self, hosts: Union[str, Iterable[str]],
                            function: str, name: str,
-                           records: Sequence[Sequence[int]]) -> None:
-        for host in self._host_list(hosts):
-            self.enclave(host).set_global_records(function, name,
-                                                  records)
+                           records: Sequence[Sequence[int]]
+                           ) -> Optional[List[PendingSend]]:
+        return self._fan_out_globals(
+            hosts, lambda host: self.plane.set_global_records(
+                host, function, name, records))
 
     def set_global_keyed(self, hosts: Union[str, Iterable[str]],
                          function: str, name: str, key: tuple,
-                         values: Sequence[int]) -> None:
+                         values: Sequence[int]
+                         ) -> Optional[List[PendingSend]]:
+        return self._fan_out_globals(
+            hosts, lambda host: self.plane.set_global_keyed(
+                host, function, name, key, values))
+
+    def _fan_out_globals(self, hosts, submit) -> Optional[
+            List[PendingSend]]:
+        pendings = []
         for host in self._host_list(hosts):
-            self.enclave(host).set_global_keyed(function, name, key,
-                                                values)
+            self.enclave(host)
+            pendings.append(self._finish(submit(host)))
+        return None if self.synchronous else pendings
 
     def collect_stats(self) -> Dict[str, Dict[str, Dict[str, int]]]:
         """Monitoring sweep: per-host, per-function counters.
 
         The network-side analog of the "statistics gathering
         capabilities" the paper notes switches already expose
-        (Section 3.5) — here the controller polls its enclaves.
+        (Section 3.5) — here the controller polls its registry
+        directly; the pushed-telemetry path lives on
+        :attr:`plane` (``StatsReport``).
         """
         return {host: enclave.stats_summary()
                 for host, enclave in self._enclaves.items()}
 
     def replace_function(self, hosts: Union[str, Iterable[str]],
-                         name: str, source_fn, **kwargs) -> None:
+                         name: str, source_fn,
+                         **kwargs) -> Optional[List[PendingSend]]:
         """Hot-swap a function's program at one or many hosts,
         preserving data-plane state (Section 3.4.3's dynamic
-        updates)."""
-        for host in self._host_list(hosts):
-            self.enclave(host).replace_function(name, source_fn,
-                                                **kwargs)
+        updates).
+
+        Raises :class:`ControllerError` when ``name`` was never
+        installed at one of the hosts.
+        """
+        targets = self._host_list(hosts)
+        for host in targets:
+            if name not in self.enclave(host).functions():
+                raise ControllerError(
+                    f"cannot replace function {name!r} at host "
+                    f"{host!r}: it was never installed")
+        pendings = [self._finish(self.plane.replace_function(
+            host, name, source_fn, **kwargs)) for host in targets]
+        return None if self.synchronous else pendings
 
     def _host_list(self, hosts: Union[str, Iterable[str]]) -> List[str]:
         if isinstance(hosts, str):

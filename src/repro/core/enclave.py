@@ -415,6 +415,19 @@ class Enclave:
         self._functions[installed.name] = installed
         return installed
 
+    def clear(self) -> None:
+        """Factory-reset the data plane (models an enclave restart).
+
+        Installed functions, tables, rules and counters — all soft
+        state — are lost; the control plane is expected to replay the
+        desired state afterwards (:mod:`repro.control`).  Rule ids
+        keep counting up so ids are never reused across restarts.
+        """
+        self._functions = {}
+        self._tables = {0: MatchActionTable(0)}
+        self.packets_processed = 0
+        self.packets_dropped = 0
+
     def remove_function(self, name: str) -> None:
         if name not in self._functions:
             raise EnclaveError(f"no function {name!r}")

@@ -235,6 +235,19 @@ class MessageStore:
         if self._entries.pop(key, None) is not None:
             self.expired_total += 1
 
+    def field_values(self, name: str) -> List[int]:
+        """Current value of ``name`` across all live messages.
+
+        Telemetry hook: e.g. the control plane samples the PIAS
+        function's per-message ``size`` field to rebuild the
+        flow-size distribution the threshold computation needs.
+        """
+        if not self.schema.has_field(name):
+            raise StateError(
+                f"message schema has no field {name!r}")
+        return [entry.values[name]
+                for entry in self._entries.values()]
+
     def expire_idle(self, now_ns: int) -> int:
         """Drop entries idle longer than the timeout; returns count."""
         stale = [k for k, e in self._entries.items()

@@ -15,7 +15,8 @@ and pushes the controller-computed thresholds.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections import deque
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.controller import Controller
 from ..lang.annotations import (AccessLevel, Field, FieldKind, Lifetime,
@@ -135,3 +136,72 @@ class FlowSchedulingDeployment:
         recalculated based on the overall traffic load)."""
         self.controller.set_global_records(
             hosts, self.function_name, "priorities", thresholds)
+
+
+# -- telemetry-driven control loop (repro.control) -------------------------
+
+def pias_flow_size_source(enclave,
+                          function_name: str = PIAS_FUNCTION_NAME
+                          ) -> Callable[[], Tuple[int, ...]]:
+    """Telemetry source: the cumulative sizes of live messages.
+
+    Wired into an :class:`~repro.control.agent.EnclaveAgent` as the
+    ``flow_sizes`` feed, it samples the PIAS function's per-message
+    ``size`` field — the enclave-side observations the controller
+    needs to recompute the threshold quantiles.
+    """
+    def sample() -> Tuple[int, ...]:
+        try:
+            store = enclave.function(function_name).message_store
+        except Exception:
+            return ()  # mid-restart: function not replayed yet
+        if store is None:
+            return ()
+        return tuple(s for s in store.field_values("size") if s > 0)
+    return sample
+
+
+class PiasThresholdLoop:
+    """Closes the paper's PIAS control loop over the channel.
+
+    Section 2.1.3: demotion thresholds "need to be calculated
+    periodically based on the datacenter's overall traffic load".
+    Each ``StatsReport``'s ``flow_sizes`` feed lands in a sliding
+    sample window; whenever the recomputed quantile thresholds differ
+    from the last rollout, the loop pushes ``set_global_records`` to
+    every managed host — a new epoch per host, delivered reliably
+    even over a lossy channel.
+    """
+
+    def __init__(self, plane, hosts: Optional[Sequence[str]] = None,
+                 function_name: str = PIAS_FUNCTION_NAME,
+                 num_priorities: int = 3, max_priority: int = 7,
+                 min_samples: int = 8, window: int = 512) -> None:
+        self.plane = plane
+        self.hosts = list(hosts) if hosts is not None else None
+        self.function_name = function_name
+        self.num_priorities = num_priorities
+        self.max_priority = max_priority
+        self.min_samples = min_samples
+        self._samples: deque = deque(maxlen=window)
+        self.current: Optional[List[Tuple[int, int]]] = None
+        self.updates_pushed = 0
+
+    def _targets(self) -> Sequence[str]:
+        return self.hosts if self.hosts is not None \
+            else self.plane.hosts()
+
+    def on_report(self, host: str, report) -> None:
+        self._samples.extend(report.telemetry.get("flow_sizes") or ())
+        if len(self._samples) < self.min_samples:
+            return
+        rows = Controller.pias_thresholds(
+            list(self._samples), num_priorities=self.num_priorities,
+            max_priority=self.max_priority)
+        if rows == self.current:
+            return
+        self.current = rows
+        self.updates_pushed += 1
+        for target in self._targets():
+            self.plane.set_global_records(
+                target, self.function_name, "priorities", rows)

@@ -18,7 +18,7 @@ source and destination at invocation time.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.controller import Controller
 from ..core.enclave import Enclave
@@ -174,3 +174,54 @@ class WcmpDeployment:
             src_host, self.function_name, "paths",
             (src_ip, dst_ip), flat)
         return rows
+
+
+# -- telemetry-driven control loop (repro.control) -------------------------
+
+class WcmpWeightLoop:
+    """Re-weights WCMP paths from reported path capacities.
+
+    Section 2.1.1: the controller computes the ``pathMatrix`` weights
+    from global knowledge; when hosts report per-path available
+    capacity (the ``path_capacity`` telemetry feed — rows of
+    ``(path_id, capacity_bps)``), this loop recomputes the weights
+    with :meth:`Controller.wcmp_weights` and, when they change,
+    pushes the new pathMatrix row to every sender through the control
+    channel — one new epoch per host, survives loss and restarts.
+    """
+
+    def __init__(self, plane, key: tuple,
+                 hosts: Sequence[str],
+                 function_name: str = FUNCTION_NAME,
+                 scale: int = 1000) -> None:
+        self.plane = plane
+        self.key = tuple(key)
+        self.hosts = list(hosts)
+        self.function_name = function_name
+        self.scale = scale
+        #: last reported capacity per path id (last-writer-wins).
+        self._capacity: Dict[int, float] = {}
+        self.current: Optional[List[Tuple[int, int]]] = None
+        self.updates_pushed = 0
+
+    def on_report(self, host: str, report) -> None:
+        rows = report.telemetry.get("path_capacity")
+        if not rows:
+            return
+        for path_id, capacity in rows:
+            self._capacity[int(path_id)] = float(capacity)
+        caps = sorted(self._capacity.items())
+        if not caps or sum(c for _, c in caps) <= 0:
+            return
+        weights = Controller.wcmp_weights(caps, scale=self.scale)
+        records = [(w.path_id, w.weight) for w in weights]
+        if records == self.current:
+            return
+        self.current = records
+        self.updates_pushed += 1
+        flat: List[int] = []
+        for path_id, weight in records:
+            flat.extend((path_id, weight))
+        for target in self.hosts:
+            self.plane.set_global_keyed(
+                target, self.function_name, "paths", self.key, flat)

@@ -24,12 +24,21 @@ class Host(Device):
         super().__init__(sim, name)
         self.ip = ip
         self.stack = None
+        #: The enclave's control agent (repro.control), when the host
+        #: is managed over the control-plane channel.
+        self.control_agent = None
         self.rx_packets = 0
 
     def bind_stack(self, stack) -> None:
         if self.stack is not None:
             raise RuntimeError(f"host {self.name} already has a stack")
         self.stack = stack
+
+    def bind_control_agent(self, agent) -> None:
+        if self.control_agent is not None:
+            raise RuntimeError(
+                f"host {self.name} already has a control agent")
+        self.control_agent = agent
 
     def receive(self, packet: Packet, from_port: Port) -> None:
         self.rx_packets += 1

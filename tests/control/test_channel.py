@@ -1,0 +1,236 @@
+"""Reliable-channel semantics: retries, ordering, dedup, sessions.
+
+Every test runs on the deterministic simulator; loss and duplication
+come from the seeded FaultInjector, so failures reproduce exactly.
+"""
+
+import pytest
+
+from repro.control import (Ack, ChannelConfig, ControlEndpoint,
+                           ControlError, Envelope, FaultInjector,
+                           Hello, InprocTransport, Outcome,
+                           SimTransport)
+from repro.netsim.simulator import MS, Simulator
+
+
+def make_pair(sim, faults=None, config=None, delay_ns=50_000,
+              jitter_ns=0):
+    """A sender endpoint 'ctl' and a recording receiver 'agt'."""
+    transport = SimTransport(sim, delay_ns=delay_ns,
+                             jitter_ns=jitter_ns, faults=faults)
+    received = []
+
+    def handler(src, payload):
+        received.append(payload)
+        return Outcome(True, result=len(received))
+
+    sender = ControlEndpoint("ctl", transport, scheduler=sim,
+                             rng=sim.rng, config=config)
+    receiver = ControlEndpoint("agt", transport, scheduler=sim,
+                               rng=sim.rng, config=config,
+                               handler=handler)
+    return transport, sender, receiver, received
+
+
+class TestBasicDelivery:
+    def test_send_delivers_and_acks(self):
+        sim = Simulator(seed=1)
+        _, sender, _, received = make_pair(sim)
+        pending = sender.send("agt", Hello(host="h1"))
+        assert not pending.done
+        sim.run()
+        assert pending.acked and pending.result == 1
+        assert len(received) == 1
+
+    def test_unreliable_send_has_no_handle(self):
+        sim = Simulator(seed=1)
+        _, sender, _, received = make_pair(sim)
+        assert sender.send("agt", Hello(host="h1"),
+                           reliable=False) is None
+        sim.run()
+        assert len(received) == 1
+        assert sender.stats.sent_unreliable == 1
+        assert sender.stats.acked == 0
+
+
+class TestLossAndRetransmit:
+    def test_delivery_survives_heavy_loss(self):
+        sim = Simulator(seed=3)
+        faults = FaultInjector(rng=sim.rng, drop_prob=0.5)
+        cfg = ChannelConfig(rto_ns=1 * MS, backoff_cap_ns=4 * MS,
+                            jitter_ns=0)
+        _, sender, _, received = make_pair(sim, faults=faults,
+                                           config=cfg)
+        pendings = [sender.send("agt", Hello(host=f"h{i}"))
+                    for i in range(20)]
+        sim.run(until_ns=2_000 * MS)
+        assert all(p.acked for p in pendings)
+        assert len(received) == 20
+        assert sender.stats.retransmits > 0
+        assert faults.dropped > 0
+
+    def test_retransmits_are_idempotent_under_duplication(self):
+        sim = Simulator(seed=5)
+        faults = FaultInjector(rng=sim.rng, dup_prob=1.0)
+        _, sender, receiver, received = make_pair(sim, faults=faults)
+        pendings = [sender.send("agt", Hello(host=f"h{i}"))
+                    for i in range(10)]
+        sim.run(until_ns=1_000 * MS)
+        assert all(p.acked for p in pendings)
+        # Every envelope was duplicated in flight, but each message
+        # was processed exactly once.
+        assert len(received) == 10
+        assert receiver.stats.duplicates_dropped >= 10
+
+    def test_delivery_order_matches_send_order_despite_jitter(self):
+        sim = Simulator(seed=7)
+        _, sender, _, received = make_pair(sim, delay_ns=10_000,
+                                           jitter_ns=500_000)
+        for i in range(30):
+            sender.send("agt", Hello(host=f"h{i}"))
+        sim.run()
+        assert [p.host for p in received] == \
+            [f"h{i}" for i in range(30)]
+
+    def test_backoff_doubles_then_caps(self):
+        sim = Simulator(seed=1)
+        faults = FaultInjector(rng=sim.rng)
+        faults.partition("agt")
+        cfg = ChannelConfig(rto_ns=1 * MS, backoff_factor=2,
+                            backoff_cap_ns=4 * MS, jitter_ns=0)
+        transport, sender, _, _ = make_pair(sim, faults=faults,
+                                            config=cfg)
+        send_times = []
+        original = transport.send
+
+        def recording_send(env):
+            send_times.append(sim.now)
+            original(env)
+
+        transport.send = recording_send
+        sender.send("agt", Hello(host="h1"))
+        sim.run(until_ns=20 * MS)
+        gaps = [b - a for a, b in zip(send_times, send_times[1:])]
+        assert gaps[:5] == [1 * MS, 2 * MS, 4 * MS, 4 * MS, 4 * MS]
+
+    def test_max_retries_expires_the_send(self):
+        sim = Simulator(seed=1)
+        faults = FaultInjector(rng=sim.rng)
+        faults.partition("agt")
+        cfg = ChannelConfig(rto_ns=1 * MS, backoff_cap_ns=2 * MS,
+                            jitter_ns=0, max_retries=3)
+        _, sender, _, _ = make_pair(sim, faults=faults, config=cfg)
+        pending = sender.send("agt", Hello(host="h1"))
+        sim.run(until_ns=100 * MS)
+        assert pending.failed and pending.done and not pending.ok
+        assert pending.attempts == 3
+        assert sender.stats.expired == 1
+        assert sender.pending_count() == 0
+
+
+class TestLostAcks:
+    def test_lost_ack_is_reacked_with_cached_result(self):
+        sim = Simulator(seed=2)
+        transport = SimTransport(sim, delay_ns=10_000)
+        dropped = {"n": 0}
+        original = transport.send
+
+        def ack_dropping_send(env):
+            if isinstance(env.payload, Ack) and dropped["n"] < 1:
+                dropped["n"] += 1
+                return
+            original(env)
+
+        transport.send = ack_dropping_send
+        applies = []
+        receiver = ControlEndpoint(
+            "agt", transport, scheduler=sim, rng=sim.rng,
+            handler=lambda src, p: Outcome(True, result="applied"))
+        receiver.handler = lambda src, p: (
+            applies.append(p) or Outcome(True, result="applied"))
+        cfg = ChannelConfig(rto_ns=1 * MS, jitter_ns=0)
+        sender = ControlEndpoint("ctl", transport, scheduler=sim,
+                                 rng=sim.rng, config=cfg)
+        pending = sender.send("agt", Hello(host="h1"))
+        sim.run(until_ns=100 * MS)
+        assert pending.acked
+        assert pending.result == "applied"  # from the re-ack cache
+        assert len(applies) == 1            # not re-applied
+        assert receiver.stats.reacked == 1
+
+
+class TestSessions:
+    def test_reset_supersedes_inflight_sends(self):
+        sim = Simulator(seed=4)
+        faults = FaultInjector(rng=sim.rng)
+        faults.partition("agt")
+        _, sender, _, received = make_pair(sim, faults=faults)
+        stuck = sender.send("agt", Hello(host="old"))
+        sim.run(until_ns=5 * MS)
+        sender.reset_peer("agt")
+        faults.heal("agt")
+        fresh = sender.send("agt", Hello(host="new"))
+        sim.run(until_ns=500 * MS)
+        assert stuck.superseded and stuck.done and not stuck.ok
+        assert fresh.acked
+        assert [p.host for p in received] == ["new"]
+
+    def test_stale_session_envelopes_are_discarded(self):
+        sim = Simulator(seed=4)
+        transport, sender, receiver, received = make_pair(sim)
+        sender.send("agt", Hello(host="a"))
+        sim.run()
+        sender.reset_peer("agt")
+        sender.send("agt", Hello(host="b"))
+        sim.run()
+        # Inject a ghost retransmit from the dead session 1.
+        transport.send(Envelope("ctl", "agt", 1, 1,
+                                Hello(host="ghost")))
+        sim.run()
+        assert [p.host for p in received] == ["a", "b"]
+        assert receiver.stats.stale_session_drops == 1
+
+
+class TestNacks:
+    def test_nack_completes_pending_with_reason_and_error(self):
+        sim = Simulator(seed=1)
+        transport = SimTransport(sim, delay_ns=10_000)
+        boom = ValueError("boom")
+
+        def failing_handler(src, payload):
+            raise boom
+
+        ControlEndpoint("agt", transport, scheduler=sim, rng=sim.rng,
+                        handler=failing_handler)
+        sender = ControlEndpoint("ctl", transport, scheduler=sim,
+                                 rng=sim.rng)
+        seen = []
+        sender.on_nack = lambda peer, p: seen.append((peer, p.reason))
+        pending = sender.send("agt", Hello(host="h1"))
+        sim.run()
+        assert pending.nacked and pending.done and not pending.ok
+        assert pending.reason == "ValueError"
+        assert pending.error is boom
+        assert seen == [("agt", "ValueError")]
+        assert sender.stats.nacked == 1
+
+
+class TestInproc:
+    def test_synchronous_roundtrip(self):
+        transport = InprocTransport()
+        received = []
+        ControlEndpoint("agt", transport,
+                        handler=lambda src, p: (
+                            received.append(p) or
+                            Outcome(True, result=41 + 1)))
+        sender = ControlEndpoint("ctl", transport)
+        pending = sender.send("agt", Hello(host="h1"))
+        # Completed before send() returned: no scheduler involved.
+        assert pending.acked and pending.result == 42
+        assert len(received) == 1
+
+    def test_send_to_missing_endpoint_fails_fast(self):
+        transport = InprocTransport()
+        sender = ControlEndpoint("ctl", transport)
+        with pytest.raises(ControlError):
+            sender.send("nowhere", Hello(host="h1"))

@@ -1,0 +1,50 @@
+"""Wire-protocol basics: envelopes, payload typing, epoch fields."""
+
+import dataclasses
+
+import pytest
+
+from repro.control import (Ack, ConfigMessage, Envelope, Hello,
+                           InstallFunction, InstallRule, Nack,
+                           ReplaceFunction, RuleSpec, StatsReport,
+                           UpdateGlobals, UpdateRules)
+
+
+class TestEnvelope:
+    def test_reliable_iff_sequenced(self):
+        payload = Hello(host="h1")
+        assert Envelope("a", "b", 1, 0, payload).reliable
+        assert not Envelope("a", "b", 1, -1, payload).reliable
+
+    def test_describe_names_payload_and_stream(self):
+        env = Envelope("controller", "agent:h1", 3, 7,
+                       InstallFunction(host="h1", epoch=9, name="f"))
+        text = env.describe()
+        assert "InstallFunction" in text
+        assert "controller->agent:h1" in text
+        assert "s3#7" in text
+
+
+class TestPayloads:
+    def test_config_messages_carry_host_and_epoch(self):
+        for cls in (InstallFunction, ReplaceFunction, InstallRule,
+                    UpdateRules, UpdateGlobals):
+            msg = cls(host="h9", epoch=4)
+            assert isinstance(msg, ConfigMessage)
+            assert msg.host == "h9" and msg.epoch == 4
+
+    def test_non_config_messages_are_not_epoch_checked(self):
+        for msg in (Hello(host="h1"), StatsReport(host="h1"),
+                    Ack(session=1, seq=2), Nack(session=1, seq=2)):
+            assert not isinstance(msg, ConfigMessage)
+
+    def test_payloads_are_frozen(self):
+        msg = InstallFunction(host="h1", epoch=1, name="f")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            msg.epoch = 2
+
+    def test_rule_spec_defaults(self):
+        spec = RuleSpec(pattern="*", function="f")
+        assert spec.table_id == 0
+        assert spec.priority == 0
+        assert spec.next_table is None

@@ -80,6 +80,67 @@ class TestEnclaveApiPassthrough:
         assert len(installed) == 3
 
 
+class TestReplaceFunction:
+    def test_replace_never_installed_raises_controller_error(
+            self, controller):
+        controller.register_enclave("h1", Enclave("h1.enclave"))
+        with pytest.raises(ControllerError,
+                           match="never installed"):
+            controller.replace_function("h1", "ghost_fn",
+                                        mark_priority)
+
+    def test_replace_checks_every_target_before_sending(
+            self, controller):
+        # h1 has the function, h2 does not: nothing may change
+        # anywhere when one target fails validation.
+        for host in ("h1", "h2"):
+            controller.register_enclave(host,
+                                        Enclave(f"{host}.enclave"))
+        controller.install_function("h1", mark_priority)
+        epoch_before = controller.plane.desired("h1").epoch
+        with pytest.raises(ControllerError):
+            controller.replace_function(["h1", "h2"],
+                                        "mark_priority",
+                                        mark_priority)
+        assert controller.plane.desired("h1").epoch == epoch_before
+
+    def test_replace_installed_function_succeeds(self, controller):
+        controller.register_enclave("h1", Enclave("h1.enclave"))
+        controller.install_function("h1", mark_priority)
+        controller.replace_function("h1", "mark_priority",
+                                    mark_priority)
+        assert controller.enclave("h1").functions() == \
+            ["mark_priority"]
+
+
+STATS_KEYS = {"invocations", "faults", "ops_executed",
+              "max_stack_bytes", "max_heap_bytes",
+              "messages_tracked"}
+
+
+class TestCollectStats:
+    def test_per_host_per_function_shape(self, controller):
+        for host in ("h1", "h2"):
+            controller.register_enclave(host,
+                                        Enclave(f"{host}.enclave"))
+        controller.install_function(["h1", "h2"], mark_priority)
+        stats = controller.collect_stats()
+        assert set(stats) == {"h1", "h2"}
+        for host in ("h1", "h2"):
+            assert set(stats[host]) == {"mark_priority"}
+            assert set(stats[host]["mark_priority"]) == STATS_KEYS
+
+    def test_fresh_enclave_reports_zeroed_counters(self, controller):
+        controller.register_enclave("h1", Enclave("h1.enclave"))
+        controller.install_function("h1", mark_priority)
+        counters = controller.collect_stats()["h1"]["mark_priority"]
+        assert all(value == 0 for value in counters.values())
+
+    def test_no_functions_means_empty_per_host_dict(self, controller):
+        controller.register_enclave("h1", Enclave("h1.enclave"))
+        assert controller.collect_stats() == {"h1": {}}
+
+
 class TestWcmpWeights:
     def test_proportional_to_capacity(self):
         weights = Controller.wcmp_weights([(1, 10e9), (2, 1e9)])
@@ -129,6 +190,28 @@ class TestPiasThresholds:
                                           num_priorities=4)
         limits = [r[0] for r in rows]
         assert limits == sorted(limits)
+
+    def test_single_sample(self):
+        rows = Controller.pias_thresholds([42], num_priorities=3,
+                                          max_priority=7)
+        assert rows == [(42, 7), (42, 6), (1 << 62, 5)]
+
+    def test_all_equal_sizes_give_non_decreasing_limits(self):
+        rows = Controller.pias_thresholds([5] * 10,
+                                          num_priorities=3)
+        limits = [r[0] for r in rows]
+        assert limits == sorted(limits)
+        assert limits[:-1] == [5, 5]
+        assert limits[-1] == 1 << 62  # last band stays unbounded
+
+    def test_more_priorities_than_samples(self):
+        rows = Controller.pias_thresholds([10, 20],
+                                          num_priorities=5,
+                                          max_priority=7)
+        limits = [r[0] for r in rows]
+        prios = [r[1] for r in rows]
+        assert limits == [10, 10, 20, 20, 1 << 62]
+        assert prios == [7, 6, 5, 4, 3]
 
 
 class TestTenantQueueMap:
