@@ -10,6 +10,7 @@ Runs any of the paper-reproduction experiments without writing code:
     python -m repro micro --packets 300
     python -m repro bench-smoke
     python -m repro control-demo --loss 0.1
+    python -m repro telemetry-report --duration-ms 100
 """
 
 from __future__ import annotations
@@ -150,6 +151,69 @@ def _cmd_control_demo(args) -> int:
     return 0 if result.converged else 1
 
 
+def _cmd_telemetry_report(args) -> int:
+    """Run the control-demo scenario with telemetry enabled and print
+    a metrics/span report in JSONL and Prometheus text formats.
+
+    Fails (exit 1) unless the run produced the acceptance signals: a
+    non-empty registry snapshot with enclave lookups, interpreter ops
+    and channel retransmits, and at least one complete
+    stage -> enclave -> interpreter span chain.
+    """
+    from .experiments import control_demo
+    from .telemetry import Telemetry
+    from .telemetry.exporters import (metric_jsonl_lines,
+                                      prometheus_text,
+                                      span_jsonl_lines)
+    from .telemetry.spans import format_trace, traces_containing
+
+    tel = Telemetry(enabled=True, recorder_capacity=args.max_spans)
+    result = control_demo.run_scenario(
+        seed=args.seed, loss=args.loss,
+        duration_ms=args.duration_ms, num_hosts=args.hosts,
+        telemetry=tel)
+
+    registry = tel.registry
+    spans = tel.recorder.spans()
+    chain = ("stage.classify", "enclave.lookup", "interpreter.execute")
+    chains = traces_containing(spans, chain)
+
+    print("# ==== prometheus ====")
+    print(prometheus_text(registry))
+    print("# ==== jsonl ====")
+    if args.jsonl_spans:
+        shown = spans
+    else:
+        # Keep the dump small: metrics plus the spans of one complete
+        # chain (enough to show the full trace tree in JSONL form).
+        keep = chains[0] if chains else None
+        shown = [s for s in spans if s.trace_id == keep] if keep else []
+    for line in metric_jsonl_lines(registry):
+        print(line)
+    for line in span_jsonl_lines(shown):
+        print(line)
+    print("# ==== summary ====")
+    lookups = registry.total("enclave_lookups_total")
+    retrans = registry.total("channel_retransmits_total")
+    interp_ops = registry.total("interp_ops_per_invocation")
+    print(f"enclave lookups:      {lookups}")
+    print(f"interpreter runs:     {interp_ops}")
+    print(f"channel retransmits:  {retrans}")
+    print(f"spans recorded:       {tel.recorder.recorded} "
+          f"({tel.recorder.dropped} dropped)")
+    print(f"complete chains:      {len(chains)} "
+          f"(stage.classify -> enclave.lookup -> interpreter.execute)")
+    if chains:
+        print("\nexample trace:")
+        print(format_trace(
+            [s for s in spans if s.trace_id == chains[0]]))
+    print(f"\nconverged: {'yes' if result.converged else 'NO'}")
+
+    ok = (result.converged and chains and lookups > 0 and
+          interp_ops > 0 and retrans > 0)
+    return 0 if ok else 1
+
+
 def _cmd_report(args) -> int:
     """Regenerate the full evaluation into one markdown report."""
     from .experiments import fig9, fig10, fig11, fig12, micro
@@ -199,6 +263,8 @@ _COMMANDS = {
                     "dispatch-speed regression gate vs baseline JSON"),
     "control-demo": (_cmd_control_demo,
                      "lossy control-channel PIAS/WCMP convergence"),
+    "telemetry-report": (_cmd_telemetry_report,
+                         "control-demo with metrics + span tracing"),
     "report": (_cmd_report, "run everything, write a markdown report"),
 }
 
@@ -234,13 +300,21 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--update-baseline", action="store_true",
                            help="rewrite the baseline instead of "
                                 "checking against it")
-        if name == "control-demo":
+        if name in ("control-demo", "telemetry-report"):
+            default_ms = 400 if name == "control-demo" else 100
             p.add_argument("--loss", type=float, default=0.10,
                            help="control-message drop probability")
-            p.add_argument("--duration-ms", type=int, default=400,
+            p.add_argument("--duration-ms", type=int,
+                           default=default_ms,
                            help="simulated milliseconds (lossy window)")
             p.add_argument("--hosts", type=int, default=3,
                            help="number of managed enclaves")
+        if name == "telemetry-report":
+            p.add_argument("--max-spans", type=int, default=65536,
+                           help="flight-recorder capacity")
+            p.add_argument("--jsonl-spans", action="store_true",
+                           help="dump every recorded span as JSONL "
+                                "(default: one complete chain)")
         if name == "report":
             p.add_argument("--out", default="report.md",
                            help="output markdown path")

@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, Optional
 
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .channel import (ChannelConfig, ControlEndpoint, Outcome,
                       PendingSend)
 from .messages import (ConfigMessage, ControlError, ControlMessage,
@@ -36,20 +37,32 @@ class EnclaveAgent:
     def __init__(self, host: str, enclave, transport: Transport,
                  scheduler=None, rng: Optional[random.Random] = None,
                  config: Optional[ChannelConfig] = None,
-                 controller_address: str = "controller") -> None:
+                 controller_address: str = "controller",
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.host = host
         self.enclave = enclave
         self.controller_address = controller_address
         self.scheduler = scheduler
         self.address = agent_address(host)
+        self.telemetry = (telemetry if telemetry is not None
+                          else NULL_TELEMETRY)
         self.endpoint = ControlEndpoint(
             self.address, transport, scheduler=scheduler, rng=rng,
-            config=config, handler=self._handle)
+            config=config, handler=self._handle, telemetry=telemetry)
         self.applied_epoch = 0
         self.applied_ops = 0
         self.stale_rejections = 0
         self.restarts = 0
         self.reports_sent = 0
+        registry = self.telemetry.registry
+        self._m_applied = registry.counter("agent_applied_ops_total",
+                                           host=host)
+        self._m_stale = registry.counter(
+            "agent_stale_rejections_total", host=host)
+        self._m_restarts = registry.counter("agent_restarts_total",
+                                            host=host)
+        self._m_reports = registry.counter("agent_reports_total",
+                                           host=host)
         self._telemetry_sources: Dict[str, Callable[[], object]] = {}
         self._report_interval_ns: Optional[int] = None
         self._report_gen = 0
@@ -61,10 +74,12 @@ class EnclaveAgent:
         if isinstance(payload, ConfigMessage):
             if payload.epoch < self.applied_epoch:
                 self.stale_rejections += 1
+                self._m_stale.inc()
                 return Outcome(False, reason=STALE_EPOCH)
             result = self._apply(payload)
             self.applied_epoch = payload.epoch
             self.applied_ops += 1
+            self._m_applied.inc()
             return Outcome(True, result=result)
         raise ControlError(
             f"agent {self.host}: unexpected {type(payload).__name__}")
@@ -150,6 +165,7 @@ class EnclaveAgent:
         self.enclave.clear()
         self.applied_epoch = 0
         self.restarts += 1
+        self._m_restarts.inc()
         self.endpoint.reset_all_peers()
         self.send_hello()
         if self._report_interval_ns is not None and \
@@ -177,13 +193,29 @@ class EnclaveAgent:
             applied_epoch=self.applied_epoch,
             stats=self.enclave.stats_summary(),
             telemetry={name: source() for name, source
-                       in self._telemetry_sources.items()})
+                       in self._telemetry_sources.items()},
+            registry=(self.telemetry.registry.snapshot()
+                      if self.telemetry.enabled else {}))
 
     def send_report(self) -> None:
         """Push one telemetry report (best-effort, unacked)."""
-        self.endpoint.send(self.controller_address,
-                           self.build_report(), reliable=False)
+        if not self.telemetry.enabled:
+            self.endpoint.send(self.controller_address,
+                               self.build_report(), reliable=False)
+            self.reports_sent += 1
+            return
+        # The report push is the tail of the data-path story: span it
+        # so a trace can show classification -> enclave -> interpreter
+        # -> StatsReport delivery.
+        with self.telemetry.tracer.span("control.stats_report",
+                                        host=self.host) as span:
+            report = self.build_report()
+            self.endpoint.send(self.controller_address, report,
+                               reliable=False)
+            span.set(epoch=report.applied_epoch,
+                     functions=len(report.stats))
         self.reports_sent += 1
+        self._m_reports.inc()
 
     def start_reporting(self, interval_ns: int) -> None:
         """Push a ``StatsReport`` every ``interval_ns`` forever."""

@@ -29,6 +29,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .messages import (Ack, ControlError, ControlMessage, Envelope,
                        Nack)
 from .transport import Transport
@@ -162,7 +163,8 @@ class ControlEndpoint:
     def __init__(self, address: str, transport: Transport,
                  scheduler=None, rng: Optional[random.Random] = None,
                  config: Optional[ChannelConfig] = None,
-                 handler: Optional[HandlerFn] = None) -> None:
+                 handler: Optional[HandlerFn] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.address = address
         self.transport = transport
         self.scheduler = scheduler
@@ -173,6 +175,17 @@ class ControlEndpoint:
         #: Called with ``(peer, pending)`` when a send is nacked.
         self.on_nack: Optional[Callable[[str, PendingSend], None]] = None
         self._peers: Dict[str, _PeerStream] = {}
+        # Every ChannelStats field is mirrored into a registry counter
+        # labeled by endpoint, so channel health shows up in telemetry
+        # snapshots and exports.
+        self.telemetry = (telemetry if telemetry is not None
+                          else NULL_TELEMETRY)
+        registry = self.telemetry.registry
+        self._m = {name: registry.counter(f"channel_{name}_total",
+                                          endpoint=address)
+                   for name in ChannelStats().as_dict()}
+        self._h_backoff = registry.histogram("channel_backoff_ns",
+                                             endpoint=address)
         transport.register(address, self._on_receive)
 
     # -- sending -----------------------------------------------------------
@@ -189,6 +202,7 @@ class ControlEndpoint:
         stream = self._peer(dst)
         if not reliable:
             self.stats.sent_unreliable += 1
+            self._m["sent_unreliable"].inc()
             self.transport.send(Envelope(self.address, dst,
                                          stream.tx_session, -1,
                                          payload))
@@ -200,6 +214,7 @@ class ControlEndpoint:
         pending = PendingSend(env)
         stream.pending[seq] = pending
         self.stats.sent += 1
+        self._m["sent"].inc()
         self.transport.send(env)
         # A synchronous transport may have delivered and acked already.
         if not pending.done and self.scheduler is not None:
@@ -213,6 +228,7 @@ class ControlEndpoint:
     def _arm_timer(self, dst: str, stream: _PeerStream,
                    pending: PendingSend) -> None:
         delay = self.config.backoff_ns(pending.attempts, self.rng)
+        self._h_backoff.observe(delay)
         pending._timer = self.scheduler.schedule(
             delay, self._on_timeout, dst, stream.tx_session,
             pending.env.seq)
@@ -230,9 +246,11 @@ class ControlEndpoint:
             pending.failed = True
             del stream.pending[seq]
             self.stats.expired += 1
+            self._m["expired"].inc()
             return
         pending.attempts += 1
         self.stats.retransmits += 1
+        self._m["retransmits"].inc()
         self.transport.send(pending.env)
         self._arm_timer(dst, stream, pending)
 
@@ -264,11 +282,13 @@ class ControlEndpoint:
             return
         if not env.reliable:
             self.stats.delivered += 1
+            self._m["delivered"].inc()
             self._process(env.src, payload)
             return
         stream = self._peer(env.src)
         if env.session < stream.rx_session:
             self.stats.stale_session_drops += 1
+            self._m["stale_session_drops"].inc()
             return
         if env.session > stream.rx_session:
             stream.reset_rx(env.session)
@@ -276,15 +296,18 @@ class ControlEndpoint:
             # Already processed: the ack was lost — re-ack with the
             # remembered outcome so the sender can complete.
             self.stats.duplicates_dropped += 1
+            self._m["duplicates_dropped"].inc()
             outcome = stream.rx_results.get(env.seq, Outcome(True))
             self._send_outcome(env.src, stream.rx_session, env.seq,
                                outcome)
             self.stats.reacked += 1
+            self._m["reacked"].inc()
             return
         if env.seq in stream.rx_buffer:
             # Buffered but not yet deliverable (gap before it); it
             # will be acked when the gap fills and it is processed.
             self.stats.duplicates_dropped += 1
+            self._m["duplicates_dropped"].inc()
             return
         stream.rx_buffer[env.seq] = payload
         while stream.rx_last_delivered + 1 in stream.rx_buffer:
@@ -292,6 +315,7 @@ class ControlEndpoint:
             queued = stream.rx_buffer.pop(seq)
             stream.rx_last_delivered = seq
             self.stats.delivered += 1
+            self._m["delivered"].inc()
             outcome = self._process(env.src, queued)
             stream.rx_results[seq] = outcome
             while len(stream.rx_results) > _RESULT_CACHE:
@@ -333,8 +357,10 @@ class ControlEndpoint:
             pending.reason = payload.reason
             pending.error = payload.error
             self.stats.nacked += 1
+            self._m["nacked"].inc()
             if self.on_nack is not None:
                 self.on_nack(src, pending)
         else:
             pending.acked = True
             self.stats.acked += 1
+            self._m["acked"].inc()

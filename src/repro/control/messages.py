@@ -142,7 +142,10 @@ class StatsReport(ControlMessage):
     ``stats`` is the enclave's per-function counter summary;
     ``telemetry`` carries named observation feeds (e.g.
     ``flow_sizes`` samples for PIAS threshold recomputation,
-    ``path_capacity`` rows for WCMP re-weighting).
+    ``path_capacity`` rows for WCMP re-weighting); ``registry``
+    carries the host's metric-registry snapshot
+    (:meth:`repro.telemetry.registry.MetricRegistry.snapshot`) when
+    the host runs with telemetry enabled — empty otherwise.
     """
 
     host: str = ""
@@ -150,6 +153,7 @@ class StatsReport(ControlMessage):
     applied_epoch: int = 0
     stats: Mapping[str, Mapping[str, int]] = field(default_factory=dict)
     telemetry: Mapping[str, object] = field(default_factory=dict)
+    registry: Mapping[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

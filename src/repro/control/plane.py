@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .agent import agent_address
 from .channel import (ChannelConfig, ControlEndpoint, Outcome,
                       PendingSend)
@@ -69,12 +70,15 @@ class ControlPlane:
     def __init__(self, transport: Transport, scheduler=None,
                  rng: Optional[random.Random] = None,
                  config: Optional[ChannelConfig] = None,
-                 address: str = "controller") -> None:
+                 address: str = "controller",
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.address = address
         self.transport = transport
+        self.telemetry = (telemetry if telemetry is not None
+                          else NULL_TELEMETRY)
         self.endpoint = ControlEndpoint(
             address, transport, scheduler=scheduler, rng=rng,
-            config=config, handler=self._handle)
+            config=config, handler=self._handle, telemetry=telemetry)
         self.endpoint.on_nack = self._record_nack
         self._desired: Dict[str, DesiredState] = {}
         self._agent_addrs: Dict[str, str] = {}
@@ -85,6 +89,13 @@ class ControlPlane:
         self.stale_nacks_seen = 0
         self.nack_log: List[Tuple[str, str]] = []
         self._loops: List[ControlLoop] = []
+        registry = self.telemetry.registry
+        self._m_reports = registry.counter("plane_reports_total")
+        self._m_hellos = registry.counter("plane_hellos_total")
+        self._m_replays = registry.counter("plane_replays_total")
+        self._m_stale_nacks = registry.counter(
+            "plane_stale_nacks_total")
+        self._m_nacks = registry.counter("plane_nacks_total")
 
     # -- registry ----------------------------------------------------------
 
@@ -206,6 +217,7 @@ class ControlPlane:
         ds = self.desired(host)
         self.endpoint.reset_peer(self.agent_addr(host))
         self.replays += 1
+        self._m_replays.inc()
         sends: List[PendingSend] = []
         for name, spec in ds.functions.items():
             sends.append(self._send(host, InstallFunction(
@@ -226,6 +238,7 @@ class ControlPlane:
                 payload: ControlMessage) -> Optional[Outcome]:
         if isinstance(payload, Hello):
             self.hellos_handled += 1
+            self._m_hellos.inc()
             host = payload.host
             if host in self._agent_addrs:
                 # Ack the Hello first (the outcome), then replay on
@@ -236,6 +249,7 @@ class ControlPlane:
                            reason=f"unknown host {host!r}")
         if isinstance(payload, StatsReport):
             self.reports_received += 1
+            self._m_reports.inc()
             self.latest_report[payload.host] = payload
             for loop in self._loops:
                 loop.on_report(payload.host, payload)
@@ -246,8 +260,10 @@ class ControlPlane:
 
     def _record_nack(self, peer: str, pending: PendingSend) -> None:
         self.nack_log.append((peer, pending.reason))
+        self._m_nacks.inc()
         if pending.reason == STALE_EPOCH:
             self.stale_nacks_seen += 1
+            self._m_stale_nacks.inc()
 
     # -- control loops -----------------------------------------------------
 

@@ -6,50 +6,115 @@ enclave), *enclave* (classification matching plus state preparation and
 commit), and *interpreter* (executing the action function bytecode).
 
 :class:`CpuAccounting` collects per-packet wall-clock samples for each
-bucket; consumers compute averages/percentiles relative to a baseline.
+bucket.  Totals and counts are exact; per-bucket *samples* are bounded
+by reservoir sampling (Algorithm R) so a long sweep holds a uniform
+random subset of fixed size instead of one entry per packet —
+percentiles stay unbiased while memory stays O(reservoir).  When a
+:class:`~repro.telemetry.registry.MetricRegistry` is attached, every
+sample is mirrored into a log-bucketed ``cpu_ns{component=...}``
+histogram so accounting shows up in telemetry snapshots and exports.
 """
 
 from __future__ import annotations
 
+import random
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..telemetry.registry import (MetricRegistry, NULL_HISTOGRAM,
+                                  nearest_rank)
 
 BUCKETS = ("api", "enclave", "interpreter", "native")
+
+#: Default per-bucket reservoir size: enough for stable tail
+#: percentiles (p95 rank error < 1% at this size) at fixed memory.
+RESERVOIR_SIZE = 4096
+
+
+class Reservoir:
+    """Uniform fixed-size sample of a stream (Vitter's Algorithm R)."""
+
+    __slots__ = ("capacity", "seen", "values", "_rng")
+
+    def __init__(self, capacity: int,
+                 rng: Optional[random.Random] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be > 0")
+        self.capacity = capacity
+        self.seen = 0
+        self.values: List[int] = []
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def add(self, value: int) -> None:
+        self.seen += 1
+        if len(self.values) < self.capacity:
+            self.values.append(value)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self.values[slot] = value
+
+    def clear(self) -> None:
+        self.seen = 0
+        self.values.clear()
 
 
 class CpuAccounting:
     """Accumulates per-packet processing-time samples per component."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True,
+                 registry: Optional[MetricRegistry] = None,
+                 reservoir_size: int = RESERVOIR_SIZE,
+                 rng: Optional[random.Random] = None) -> None:
         self.enabled = enabled
-        self.samples: Dict[str, List[int]] = {b: [] for b in BUCKETS}
+        # Exact aggregates (never sampled) ...
+        self._totals: Dict[str, int] = {b: 0 for b in BUCKETS}
+        self._counts: Dict[str, int] = {b: 0 for b in BUCKETS}
+        # ... a bounded uniform sample per bucket for percentiles ...
+        seeded = rng if rng is not None else random.Random(0)
+        self._reservoirs: Dict[str, Reservoir] = {
+            b: Reservoir(reservoir_size, seeded) for b in BUCKETS}
+        # ... and an optional telemetry mirror.
+        self.registry = registry
+        if registry is not None:
+            self._hists = {b: registry.histogram("cpu_ns", component=b)
+                           for b in BUCKETS}
+        else:
+            self._hists = {b: NULL_HISTOGRAM for b in BUCKETS}
 
     def record(self, bucket: str, elapsed_ns: int) -> None:
-        if self.enabled:
-            self.samples[bucket].append(elapsed_ns)
+        if not self.enabled:
+            return
+        self._totals[bucket] += elapsed_ns
+        self._counts[bucket] += 1
+        self._reservoirs[bucket].add(elapsed_ns)
+        self._hists[bucket].observe(elapsed_ns)
 
     def now(self) -> int:
         return time.perf_counter_ns() if self.enabled else 0
 
+    @property
+    def samples(self) -> Dict[str, List[int]]:
+        """Per-bucket retained samples (a bounded reservoir, not the
+        full stream — use :meth:`totals`/:meth:`counts` for exact
+        aggregates)."""
+        return {b: list(r.values) for b, r in self._reservoirs.items()}
+
     def totals(self) -> Dict[str, int]:
-        return {b: sum(v) for b, v in self.samples.items()}
+        return dict(self._totals)
 
     def counts(self) -> Dict[str, int]:
-        return {b: len(v) for b, v in self.samples.items()}
+        return dict(self._counts)
 
     def mean_ns(self, bucket: str) -> float:
-        values = self.samples[bucket]
-        return sum(values) / len(values) if values else 0.0
+        count = self._counts[bucket]
+        return self._totals[bucket] / count if count else 0.0
 
     def percentile_ns(self, bucket: str, pct: float) -> float:
-        values = sorted(self.samples[bucket])
-        if not values:
-            return 0.0
-        rank = min(len(values) - 1,
-                   max(0, int(round(pct / 100.0 * (len(values) - 1)))))
-        return float(values[rank])
+        return nearest_rank(self._reservoirs[bucket].values, pct)
 
     def reset(self) -> None:
-        for bucket in self.samples:
-            self.samples[bucket].clear()
+        for bucket in BUCKETS:
+            self._totals[bucket] = 0
+            self._counts[bucket] = 0
+            self._reservoirs[bucket].clear()

@@ -71,8 +71,10 @@ class Controller:
                  transport: Union[str, Transport] = "inproc",
                  sim=None,
                  channel_config: Optional[ChannelConfig] = None,
-                 faults: Optional[FaultInjector] = None) -> None:
+                 faults: Optional[FaultInjector] = None,
+                 telemetry=None) -> None:
         self.name = name
+        self.telemetry = telemetry
         self._enclaves: Dict[str, Enclave] = {}
         self._stages: Dict[Tuple[str, str], Stage] = {}
         self._agents: Dict[str, EnclaveAgent] = {}
@@ -98,7 +100,8 @@ class Controller:
                                   scheduler=self._scheduler,
                                   rng=self._rng,
                                   config=channel_config,
-                                  address=f"{name}")
+                                  address=f"{name}",
+                                  telemetry=telemetry)
 
     @property
     def synchronous(self) -> bool:
@@ -116,7 +119,8 @@ class Controller:
                              scheduler=self._scheduler,
                              rng=self._rng,
                              config=self._channel_config,
-                             controller_address=self.plane.address)
+                             controller_address=self.plane.address,
+                             telemetry=self.telemetry)
         self._agents[host] = agent
         self.plane.attach(host, agent.address)
 

@@ -29,6 +29,7 @@ from ..lang.interpreter import (ExecResult, Interpreter,
                                 InterpreterFault)
 from ..lang.native import NativeFunction
 from ..lang.verifier import verify
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .accounting import CpuAccounting
 from .stage import Classification, Stage
 from .state import (ConcurrencyLevel, GlobalStore, MessageStore,
@@ -41,6 +42,19 @@ class EnclaveError(Exception):
 
 class ConcurrencyViolation(EnclaveError):
     """The enclave's concurrency model would be violated."""
+
+
+class UnknownIdError(EnclaveError, KeyError):
+    """A rule or table id named in an enclave API call does not exist.
+
+    Subclasses both :class:`EnclaveError` (so existing controller
+    error handling keeps working) and :class:`KeyError` (it is a
+    failed id lookup); the message always names the missing id.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs its argument; keep the message plain.
+        return self.args[0] if self.args else ""
 
 
 class ConcurrencyGuard:
@@ -293,8 +307,9 @@ class MatchActionTable:
         before = len(self._rules)
         self._rules = [r for r in self._rules if r.rule_id != rule_id]
         if len(self._rules) == before:
-            raise EnclaveError(
-                f"table {self.table_id}: no rule {rule_id}")
+            raise UnknownIdError(
+                f"table {self.table_id}: no rule with id {rule_id} "
+                f"(known: {sorted(r.rule_id for r in self._rules)})")
         self._lookup_cache.clear()
 
     def lookup(self, class_names: Sequence[str]
@@ -360,7 +375,8 @@ class Enclave:
                  rng: Optional[random.Random] = None,
                  clock: Optional[Callable[[], int]] = None,
                  accounting: Optional[CpuAccounting] = None,
-                 interpreter: Optional[Interpreter] = None) -> None:
+                 interpreter: Optional[Interpreter] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if placement not in _PLACEMENT_BASE_COST_NS:
             raise EnclaveError(f"unknown placement {placement!r}")
         self.name = name
@@ -370,21 +386,47 @@ class Enclave:
         self.rng = rng if rng is not None else random.Random(1)
         self.clock = clock if clock is not None else (lambda: 0)
         self.accounting = accounting or CpuAccounting(enabled=False)
+        self.telemetry = (telemetry if telemetry is not None
+                          else NULL_TELEMETRY)
         self.interpreter = interpreter or Interpreter(
-            rng=self.rng, clock=self.clock)
+            rng=self.rng, clock=self.clock, telemetry=telemetry)
+        if telemetry is not None and \
+                getattr(self.interpreter, "telemetry", None) is None:
+            self.interpreter.bind_telemetry(telemetry)
         self._functions: Dict[str, InstalledFunction] = {}
         self._tables: Dict[int, MatchActionTable] = {
             0: MatchActionTable(0)}
         self._next_rule_id = itertools.count(1)
         self.packets_processed = 0
         self.packets_dropped = 0
+        # Instruments are bound once here; in the NULL_TELEMETRY case
+        # they are shared no-ops, so the data path below needs no
+        # enabled checks for counters (spans gate on _tracing because
+        # they allocate).
+        registry = self.telemetry.registry
+        self._m_packets = registry.counter("enclave_packets_total",
+                                           enclave=name)
+        self._m_drops = registry.counter("enclave_drops_total",
+                                         enclave=name)
+        self._m_faults = registry.counter("enclave_faults_total",
+                                          enclave=name)
+        self._m_lookups = registry.counter("enclave_lookups_total",
+                                           enclave=name)
+        self._m_lookup_hits = registry.counter(
+            "enclave_lookup_hits_total", enclave=name)
+        self._m_invocations = registry.counter(
+            "enclave_invocations_total", enclave=name)
+        self._h_packet_ops = registry.histogram(
+            "enclave_packet_ops", enclave=name)
+        self._tracing = self.telemetry.enabled
         # The enclave is itself a stage that classifies at the
         # granularity of flows (last row of paper Table 2).
         self.flow_stage = Stage(
             "enclave",
             classifier_fields=("src_ip", "src_port", "dst_ip",
                                "dst_port", "proto"),
-            metadata_fields=("msg_id",))
+            metadata_fields=("msg_id",),
+            telemetry=telemetry)
 
     # -- enclave API: functions ---------------------------------------------
 
@@ -461,14 +503,18 @@ class Enclave:
         if table_id == 0:
             raise EnclaveError("table 0 cannot be deleted")
         if table_id not in self._tables:
-            raise EnclaveError(f"no table {table_id}")
+            raise UnknownIdError(
+                f"no table with id {table_id} "
+                f"(known: {sorted(self._tables)})")
         del self._tables[table_id]
 
     def table(self, table_id: int) -> MatchActionTable:
         try:
             return self._tables[table_id]
         except KeyError:
-            raise EnclaveError(f"no table {table_id}") from None
+            raise UnknownIdError(
+                f"no table with id {table_id} "
+                f"(known: {sorted(self._tables)})") from None
 
     def install_rule(self, pattern: str, function: str,
                      table_id: int = 0, priority: int = 0,
@@ -530,6 +576,19 @@ class Enclave:
         so functions that need no application support still apply
         (e.g. PIAS over unmodified applications).
         """
+        if not self._tracing:
+            return self._process_packet_impl(packet, classifications,
+                                             now_ns)
+        with self.telemetry.tracer.span("enclave.process",
+                                        enclave=self.name) as span:
+            result = self._process_packet_impl(packet, classifications,
+                                               now_ns)
+            span.set(executed=len(result.executed), drop=result.drop)
+        return result
+
+    def _process_packet_impl(self, packet,
+                             classifications: Sequence[Classification],
+                             now_ns: Optional[int]) -> ProcessResult:
         now = now_ns if now_ns is not None else self.clock()
         t0 = self.accounting.now()
         flow_cls = self._flow_classification(packet)
@@ -551,9 +610,18 @@ class Enclave:
         hops = 0
         while table_id is not None and hops < self.MAX_TABLE_HOPS:
             hops += 1
-            hit = self._tables[table_id].lookup(class_names)
+            if self._tracing:
+                with self.telemetry.tracer.span(
+                        "enclave.lookup", enclave=self.name,
+                        table=table_id) as lspan:
+                    hit = self._tables[table_id].lookup(class_names)
+                    lspan.set(hit=hit is not None)
+            else:
+                hit = self._tables[table_id].lookup(class_names)
+            self._m_lookups.inc()
             if hit is None:
                 break
+            self._m_lookup_hits.inc()
             rule, matched = hit
             result.matched_classes.append(matched)
             fn = self._functions[rule.function]
@@ -565,10 +633,13 @@ class Enclave:
         self.accounting.record("enclave", self.accounting.now() - t0)
 
         self.packets_processed += 1
+        self._m_packets.inc()
+        self._h_packet_ops.observe(result.interpreter_ops)
         result.drop = bool(getattr(packet, "drop", 0))
         result.to_controller = bool(getattr(packet, "to_controller", 0))
         if result.drop:
             self.packets_dropped += 1
+            self._m_drops.inc()
         return result
 
     def process_batch(self, packets_with_cls: Sequence[Tuple],
@@ -761,6 +832,7 @@ class Enclave:
                 # the packet is forwarded unmodified.
                 fn.stats.faults += 1
                 result.faults += 1
+                self._m_faults.inc()
                 self.accounting.record(
                     "interpreter" if fn.backend == "interpreter"
                     else "native",
@@ -774,6 +846,7 @@ class Enclave:
             t2 = self.accounting.now()
             self._commit(fn, packet, msg_id, exec_result)
             fn.stats.invocations += 1
+            self._m_invocations.inc()
             stats = exec_result.stats
             fn.stats.ops_executed += stats.ops_executed
             fn.stats.max_stack_bytes = max(fn.stats.max_stack_bytes,

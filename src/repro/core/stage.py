@@ -19,6 +19,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..telemetry import NULL_TELEMETRY, Telemetry
+
 WILDCARD = "*"
 
 
@@ -111,7 +113,8 @@ class Stage:
 
     def __init__(self, name: str,
                  classifier_fields: Sequence[str],
-                 metadata_fields: Sequence[str]) -> None:
+                 metadata_fields: Sequence[str],
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.name = name
         self.classifier_fields = tuple(classifier_fields)
         self.metadata_fields = tuple(metadata_fields)
@@ -119,6 +122,11 @@ class Stage:
         self._rule_sets: Dict[str, List[ClassificationRule]] = {}
         self._next_rule_id = itertools.count(1)
         self._next_msg_id = itertools.count(1)
+        self.telemetry = (telemetry if telemetry is not None
+                          else NULL_TELEMETRY)
+        self._m_classified = self.telemetry.registry.counter(
+            "stage_messages_classified_total", stage=name)
+        self._tracing = self.telemetry.enabled
 
     # -- Stage API (paper Table 3) -----------------------------------------
 
@@ -179,6 +187,16 @@ class Stage:
         to one class per rule-set (Section 3.3); rule-sets with no
         matching rule contribute nothing.
         """
+        if not self._tracing:
+            return self._classify_impl(attrs, msg_id)
+        with self.telemetry.tracer.span("stage.classify",
+                                        stage=self.name) as span:
+            results = self._classify_impl(attrs, msg_id)
+            span.set(classes=len(results))
+        return results
+
+    def _classify_impl(self, attrs: Mapping[str, object],
+                       msg_id: Optional[int]) -> List[Classification]:
         if msg_id is None:
             msg_id = self.new_message_id()
         results: List[Classification] = []
@@ -196,6 +214,7 @@ class Stage:
                 results.append(Classification(class_name=fq_name,
                                               metadata=metadata))
                 break  # at most one rule per rule-set
+        self._m_classified.inc()
         return results
 
     def rules(self) -> List[ClassificationRule]:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 from ..control import (FaultInjector, InstallFunction, STALE_EPOCH,
                        schedule_restart)
 from ..core.controller import Controller
+from ..core.stage import Classifier, Stage
 from ..functions.pias import (PIAS_FUNCTION_NAME, PIAS_GLOBAL_SCHEMA,
                               PIAS_MESSAGE_SCHEMA, PiasThresholdLoop,
                               pias_action, pias_flow_size_source)
@@ -61,16 +62,30 @@ class _DemoPacket:
 
 
 class _FlowDriver:
-    """Feeds synthetic flows through one enclave's PIAS pipeline."""
+    """Feeds synthetic flows through one enclave's PIAS pipeline.
+
+    The driver is a real Eden *stage* (Section 3.3): it classifies
+    each synthetic message with an installed classification rule, so
+    packets take the full stage -> enclave -> interpreter data path —
+    and with telemetry enabled, each packet tick opens a root span so
+    the three steps nest into one trace.
+    """
 
     def __init__(self, sim: Simulator, host: str, enclave,
-                 interval_ns: int) -> None:
-        from ..core.stage import Classification
-        self._classification = Classification
+                 interval_ns: int, telemetry=None) -> None:
         self.sim = sim
         self.host = host
         self.enclave = enclave
         self.interval_ns = interval_ns
+        self.stage = Stage(f"demo.{host}",
+                           classifier_fields=("kind",),
+                           metadata_fields=("msg_id",),
+                           telemetry=telemetry)
+        self.stage.create_stage_rule("flow", Classifier.of(kind="flow"),
+                                     "flow", ["msg_id"])
+        self._tracer = (telemetry.tracer
+                        if telemetry is not None and telemetry.enabled
+                        else None)
         self._flow_seq = 0
         self._remaining = 0
         self._flow_key: Optional[tuple] = None
@@ -81,8 +96,14 @@ class _FlowDriver:
         size = FLOW_SIZE_POPULATION[
             self.sim.rng.randrange(len(FLOW_SIZE_POPULATION))]
         self._flow_seq += 1
-        self._flow_key = ("demo", self.host, self._flow_seq)
+        self._flow_key = (self.stage.name, self._flow_seq)
         self._remaining = size
+
+    def _send_one(self, take: int) -> None:
+        cls = self.stage.classify({"kind": "flow"},
+                                  msg_id=self._flow_seq)
+        self.enclave.process_packet(_DemoPacket(take), cls,
+                                    now_ns=self.sim.now)
 
     def _tick(self) -> None:
         if self._remaining <= 0:
@@ -93,10 +114,12 @@ class _FlowDriver:
             self._next_flow()
         take = min(_PACKET_BYTES, self._remaining)
         self._remaining -= take
-        cls = self._classification(class_name="demo.flow",
-                                   metadata={"msg_id": self._flow_key})
-        self.enclave.process_packet(_DemoPacket(take), [cls],
-                                    now_ns=self.sim.now)
+        if self._tracer is not None:
+            with self._tracer.span("message.packet", host=self.host,
+                                   flow=self._flow_seq):
+                self._send_one(take)
+        else:
+            self._send_one(take)
         self.packets += 1
         self.sim.schedule(self.interval_ns, self._tick)
 
@@ -169,24 +192,40 @@ def _wcmp_in_sync(controller: Controller, host: str,
 def run_scenario(seed: int = 1, loss: float = 0.10,
                  duration_ms: int = 400, num_hosts: int = 3,
                  report_interval_ms: int = 5,
-                 restart_host_index: int = 1) -> ScenarioResult:
-    """Run the lossy-channel convergence scenario; see module doc."""
+                 restart_host_index: int = 1,
+                 telemetry=None) -> ScenarioResult:
+    """Run the lossy-channel convergence scenario; see module doc.
+
+    Pass a :class:`repro.telemetry.Telemetry` bundle to record the
+    run: every layer (stage, enclave, interpreter, control channel,
+    simulator) publishes into its registry, and each packet tick is
+    traced as a ``message.packet`` span tree.
+    """
     sim = Simulator(seed=seed)
+    sim.bind_telemetry(telemetry)
     faults = FaultInjector(rng=sim.rng, drop_prob=loss,
                            dup_prob=0.02, extra_delay_ns=200_000)
-    controller = Controller(transport="sim", sim=sim, faults=faults)
+    controller = Controller(transport="sim", sim=sim, faults=faults,
+                            telemetry=telemetry)
 
+    from ..core.accounting import CpuAccounting
     from ..core.enclave import Enclave
     hosts = [f"h{i + 1}" for i in range(num_hosts)]
     drivers = []
     for i, host in enumerate(hosts):
-        enclave = Enclave(f"{host}.enclave", clock=sim.clock)
+        accounting = None
+        if telemetry is not None and telemetry.enabled:
+            accounting = CpuAccounting(enabled=True,
+                                       registry=telemetry.registry)
+        enclave = Enclave(f"{host}.enclave", clock=sim.clock,
+                          accounting=accounting, telemetry=telemetry)
         controller.register_enclave(host, enclave)
         agent = controller.agent(host)
         agent.add_telemetry_source(
             "flow_sizes", pias_flow_size_source(enclave))
         drivers.append(_FlowDriver(sim, host, enclave,
-                                   interval_ns=1 * MS))
+                                   interval_ns=1 * MS,
+                                   telemetry=telemetry))
 
     # Initial PIAS rollout: guessed thresholds, corrected by telemetry.
     initial = Controller.pias_thresholds([10_000, 100_000, 1_000_000])

@@ -741,12 +741,24 @@ def compile_program(program: Program) -> List[List[Handler]]:
     return lists
 
 
-def fast_code(program: Program) -> List[List[Handler]]:
-    """The compiled handler lists, cached on the Program instance."""
+def fast_code(program: Program,
+              telemetry=None) -> List[List[Handler]]:
+    """The compiled handler lists, cached on the Program instance.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is consulted
+    only on a cache miss — compile events are rare and the counter
+    shows when a workload is recompiling instead of reusing programs.
+    """
     lists = getattr(program, "_fast_lists", None)
     if lists is None:
         lists = compile_program(program)
         object.__setattr__(program, "_fast_lists", lists)
+        if telemetry is not None:
+            telemetry.registry.counter(
+                "fastdispatch_compiles_total").inc()
+            telemetry.registry.histogram(
+                "fastdispatch_handlers_per_program").observe(
+                sum(len(h) for h in lists))
     return lists
 
 
@@ -758,7 +770,7 @@ def execute_fast(interp, program: Program, fields: Sequence[int],
 
     field_file, heap, bases, lengths, wranges = _copy_in(
         program, fields, arrays, interp.max_heap_words)
-    lists = fast_code(program)
+    lists = fast_code(program, getattr(interp, "telemetry", None))
 
     ctx = _Ctx()
     ctx.stack = []

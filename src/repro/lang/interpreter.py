@@ -170,7 +170,8 @@ class Interpreter:
                  op_budget: Optional[int] = None,
                  rng: Optional[random.Random] = None,
                  clock: Optional[Callable[[], int]] = None,
-                 dispatch: str = "fast") -> None:
+                 dispatch: str = "fast",
+                 telemetry=None) -> None:
         self.max_operand_stack = max_operand_stack
         self.max_call_depth = max_call_depth
         self.max_heap_words = max_heap_words
@@ -185,6 +186,33 @@ class Interpreter:
             # Deferred import: fastdispatch imports from this module.
             from .fastdispatch import execute_fast
             self._execute_fast = execute_fast
+        # ``telemetry`` stays None when disabled so the hot path pays
+        # one ``is None`` check and nothing else (the 5%-of-baseline
+        # overhead gate in tests/lang/test_telemetry_overhead.py).
+        self.telemetry = None
+        if telemetry is not None:
+            self.bind_telemetry(telemetry)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a :class:`repro.telemetry.Telemetry` bundle.
+
+        Metrics/spans are recorded only at the :meth:`execute`
+        boundary — never per op — so instrumented cost is O(1) per
+        invocation.  A disabled bundle unbinds (telemetry stays None).
+        """
+        if telemetry is None or not telemetry.enabled:
+            self.telemetry = None
+            return
+        self.telemetry = telemetry
+        registry = telemetry.registry
+        self._m_invocations = registry.counter(
+            "interp_invocations_total", dispatch=self.dispatch)
+        self._m_faults = registry.counter(
+            "interp_faults_total", dispatch=self.dispatch)
+        self._h_ops = registry.histogram(
+            "interp_ops_per_invocation", dispatch=self.dispatch)
+        self._h_stack = registry.histogram(
+            "interp_max_operand_stack", dispatch=self.dispatch)
 
     def execute(self, program: Program,
                 fields: Sequence[int],
@@ -198,10 +226,39 @@ class Interpreter:
         stride.  Returns an :class:`ExecResult`; raises
         :class:`InterpreterFault` on any safety violation.
         """
+        if self.telemetry is not None:
+            return self._execute_instrumented(program, fields, arrays,
+                                              args)
         if self.dispatch == "fast":
             return self._execute_fast(self, program, fields, arrays,
                                       args)
         return self.execute_tree(program, fields, arrays, args)
+
+    def _execute_instrumented(self, program: Program,
+                              fields: Sequence[int],
+                              arrays: Sequence[Sequence[int]],
+                              args: Sequence[int]) -> ExecResult:
+        """:meth:`execute` wrapped in a span plus boundary metrics."""
+        with self.telemetry.tracer.span(
+                "interpreter.execute", program=program.name,
+                dispatch=self.dispatch) as span:
+            self._m_invocations.inc()
+            try:
+                if self.dispatch == "fast":
+                    result = self._execute_fast(self, program, fields,
+                                                arrays, args)
+                else:
+                    result = self.execute_tree(program, fields, arrays,
+                                               args)
+            except InterpreterFault as fault:
+                self._m_faults.inc()
+                span.set(fault=fault.reason)
+                raise
+            stats = result.stats
+            self._h_ops.observe(stats.ops_executed)
+            self._h_stack.observe(stats.max_operand_stack)
+            span.set(ops=stats.ops_executed)
+        return result
 
     def execute_tree(self, program: Program,
                      fields: Sequence[int],

@@ -28,6 +28,15 @@ class Host(Device):
         #: is managed over the control-plane channel.
         self.control_agent = None
         self.rx_packets = 0
+        self._m_rx = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Mirror the host's receive counter into a telemetry
+        registry (labeled by host name)."""
+        if telemetry is None or not telemetry.enabled:
+            return
+        self._m_rx = telemetry.registry.counter(
+            "host_rx_packets_total", host=self.name)
 
     def bind_stack(self, stack) -> None:
         if self.stack is not None:
@@ -42,5 +51,7 @@ class Host(Device):
 
     def receive(self, packet: Packet, from_port: Port) -> None:
         self.rx_packets += 1
+        if self._m_rx is not None:
+            self._m_rx.inc()
         if self.stack is not None:
             self.stack.handle_rx(packet, from_port)

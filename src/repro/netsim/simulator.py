@@ -62,6 +62,19 @@ class Simulator:
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        # Bound lazily (bind_telemetry) to avoid importing telemetry
+        # nulls here; run() checks for None instead.
+        self._m_events = None
+        self._g_now = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Mirror the event counter and clock into a
+        :class:`repro.telemetry.MetricRegistry` (batched per run() so
+        the event loop itself stays uninstrumented)."""
+        if telemetry is None or not telemetry.enabled:
+            return
+        self._m_events = telemetry.registry.counter("sim_events_total")
+        self._g_now = telemetry.registry.gauge("sim_now_ns")
 
     def schedule(self, delay_ns: int, callback: Callable,
                  *args) -> Event:
@@ -100,6 +113,9 @@ class Simulator:
         if until_ns is not None and self.now < until_ns:
             self.now = until_ns
         self.events_processed += processed
+        if self._m_events is not None:
+            self._m_events.inc(processed)
+            self._g_now.set(self.now)
         return processed
 
     @property

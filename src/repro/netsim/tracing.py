@@ -11,17 +11,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..telemetry.registry import nearest_rank
 from .simulator import SEC
 
 
 def percentile(values: Sequence[float], pct: float) -> float:
-    """Nearest-rank percentile; 0 for an empty sample."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1,
-               max(0, int(round(pct / 100.0 * (len(ordered) - 1)))))
-    return float(ordered[rank])
+    """Nearest-rank percentile; 0 for an empty sample.
+
+    Delegates to :func:`repro.telemetry.registry.nearest_rank`: the
+    ``ceil(pct/100 * n)``-th smallest value (1-indexed), so ``pct=0``
+    is the minimum, ``pct=100`` the maximum, and small samples don't
+    round past the intended rank (the old ``round(pct/100 * (n-1))``
+    index put p95 of two samples at the *minimum*).
+    """
+    return nearest_rank(values, pct)
 
 
 def mean(values: Sequence[float]) -> float:

@@ -19,6 +19,7 @@ from ..core.accounting import CpuAccounting
 from ..core.enclave import Enclave
 from ..netsim.packet import FLAG_SYN, Packet, PROTO_TCP
 from ..netsim.simulator import Simulator
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..transport.tcp import TcpConnection
 from .ratelimiter import RateLimiterBank
 
@@ -37,11 +38,21 @@ class HostStack:
                  process_pure_acks: bool = True,
                  stack_latency_ns: int = 300,
                  interpreter_ns_per_op: int = 12,
-                 native_action_cost_ns: int = 150) -> None:
+                 native_action_cost_ns: int = 150,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.sim = sim
         self.host = host
         self.enclave = enclave
         self.accounting = accounting or CpuAccounting(enabled=False)
+        self.telemetry = (telemetry if telemetry is not None
+                          else NULL_TELEMETRY)
+        registry = self.telemetry.registry
+        self._m_tx = registry.counter("stack_packets_sent_total",
+                                      host=host.name)
+        self._m_enclave_drops = registry.counter(
+            "stack_enclave_drops_total", host=host.name)
+        self._m_to_controller = registry.counter(
+            "stack_to_controller_total", host=host.name)
         self.process_rx = process_rx
         self.process_pure_acks = process_pure_acks
         # Simulated per-packet processing costs (Section 5.4's CPU
@@ -52,7 +63,8 @@ class HostStack:
         self.interpreter_ns_per_op = interpreter_ns_per_op
         self.native_action_cost_ns = native_action_cost_ns
         self._last_emit_at = 0
-        self.rate_limiters = RateLimiterBank(sim, self._emit)
+        self.rate_limiters = RateLimiterBank(sim, self._emit,
+                                             telemetry=telemetry)
         self._connections: Dict[Tuple, TcpConnection] = {}
         self._listeners: Dict[int, Callable] = {}
         self._ephemeral_ports = itertools.count(40_000)
@@ -118,8 +130,10 @@ class HostStack:
                 packet, classifications, now_ns=self.sim.now)
             if result.to_controller:
                 self.packets_to_controller += 1
+                self._m_to_controller.inc()
             if result.drop:
                 self.packets_dropped_by_enclave += 1
+                self._m_enclave_drops.inc()
                 return
             delay += self.enclave.per_packet_base_cost_ns
             if result.interpreter_ops:
@@ -149,6 +163,7 @@ class HostStack:
                 f"host {self.host.name} has no port for packet "
                 f"{packet!r}")
         self.packets_sent += 1
+        self._m_tx.inc()
         port.enqueue(packet)
 
     # -- receive path ------------------------------------------------------------

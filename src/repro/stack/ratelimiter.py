@@ -16,6 +16,7 @@ from typing import Callable, Deque, Dict, Optional, Tuple
 
 from ..netsim.packet import Packet
 from ..netsim.simulator import SEC, Simulator
+from ..telemetry import NULL_TELEMETRY
 
 
 class RateLimitedQueue:
@@ -24,7 +25,8 @@ class RateLimitedQueue:
     def __init__(self, sim: Simulator, name: str, rate_bps: int,
                  burst_bytes: int,
                  forward: Callable[[Packet], None],
-                 max_queue_bytes: int = 4_000_000) -> None:
+                 max_queue_bytes: int = 4_000_000,
+                 telemetry=None) -> None:
         if rate_bps <= 0:
             raise ValueError("rate must be positive")
         self.sim = sim
@@ -42,6 +44,18 @@ class RateLimitedQueue:
         self.forwarded = 0
         self.dropped = 0
         self.charged_bytes = 0
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        registry = tel.registry
+        self._m_enqueued = registry.counter(
+            "ratelimiter_enqueued_total", queue=name)
+        self._m_forwarded = registry.counter(
+            "ratelimiter_forwarded_total", queue=name)
+        self._m_dropped = registry.counter(
+            "ratelimiter_dropped_total", queue=name)
+        self._h_charge = registry.histogram(
+            "ratelimiter_charge_bytes", queue=name)
+        self._g_backlog = registry.gauge(
+            "ratelimiter_backlog_bytes", queue=name)
 
     def set_rate(self, rate_bps: int) -> None:
         """Controller update of the queue's rate."""
@@ -56,11 +70,14 @@ class RateLimitedQueue:
         charge = packet.charge_bytes
         if self._queued_bytes + packet.size > self.max_queue_bytes:
             self.dropped += 1
+            self._m_dropped.inc()
             return False
         self._queue.append((packet, charge))
         self._queued_bytes += packet.size
         self.enqueued += 1
+        self._m_enqueued.inc()
         self._drain()
+        self._g_backlog.set(self._queued_bytes)
         return True
 
     @property
@@ -85,6 +102,7 @@ class RateLimitedQueue:
                 self._queue.popleft()
                 self._queued_bytes -= packet.size
                 self.dropped += 1
+                self._m_dropped.inc()
                 continue
             if charge > self._tokens:
                 break
@@ -93,7 +111,10 @@ class RateLimitedQueue:
             self._tokens -= charge
             self.charged_bytes += charge
             self.forwarded += 1
+            self._m_forwarded.inc()
+            self._h_charge.observe(charge)
             self.forward(packet)
+        self._g_backlog.set(self._queued_bytes)
         self._reschedule()
 
     def _reschedule(self) -> None:
@@ -116,9 +137,11 @@ class RateLimiterBank:
     """
 
     def __init__(self, sim: Simulator,
-                 forward: Callable[[Packet], None]) -> None:
+                 forward: Callable[[Packet], None],
+                 telemetry=None) -> None:
         self.sim = sim
         self.forward = forward
+        self.telemetry = telemetry
         self._queues: Dict[int, RateLimitedQueue] = {}
 
     def configure(self, queue_id: int, rate_bps: int,
@@ -129,7 +152,7 @@ class RateLimiterBank:
         if queue is None:
             queue = RateLimitedQueue(
                 self.sim, f"rlq{queue_id}", rate_bps, burst_bytes,
-                self.forward)
+                self.forward, telemetry=self.telemetry)
             self._queues[queue_id] = queue
         else:
             queue.set_rate(rate_bps)

@@ -1,0 +1,125 @@
+"""Exporters: Prometheus text exposition and JSONL dumps.
+
+Two consumers, two formats:
+
+* :func:`prometheus_text` renders the registry in the Prometheus
+  text exposition format (``# TYPE`` headers, label sets, cumulative
+  ``_bucket{le=...}`` series plus ``_sum``/``_count`` for
+  histograms) — what a scrape endpoint or pushgateway would serve.
+* :func:`metric_jsonl_lines` / :func:`span_jsonl_lines` emit one
+  JSON object per line, the archival format: replayable, greppable,
+  and diffable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import List, Optional, Sequence
+
+from .registry import Counter, Gauge, Histogram, MetricRegistry
+from .spans import FlightRecorder, Span
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _prom_labels(labels, extra: str = "") -> str:
+    parts = [f'{_LABEL_RE.sub("_", k)}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: MetricRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    typed = set()
+    for inst in registry.instruments():
+        name = _prom_name(inst.name)
+        if isinstance(inst, Counter):
+            if name not in typed:
+                lines.append(f"# TYPE {name} counter")
+                typed.add(name)
+            lines.append(f"{name}{_prom_labels(inst.labels)} "
+                         f"{inst.value}")
+        elif isinstance(inst, Gauge):
+            if name not in typed:
+                lines.append(f"# TYPE {name} gauge")
+                typed.add(name)
+            lines.append(f"{name}{_prom_labels(inst.labels)} "
+                         f"{inst.value}")
+        elif isinstance(inst, Histogram):
+            if name not in typed:
+                lines.append(f"# TYPE {name} histogram")
+                typed.add(name)
+            cumulative = 0
+            for bound, count in inst.nonzero_buckets():
+                cumulative += count
+                le = 'le="%d"' % bound
+                lines.append(
+                    f"{name}_bucket{_prom_labels(inst.labels, le)} "
+                    f"{cumulative}")
+            le_inf = 'le="+Inf"'
+            lines.append(
+                f"{name}_bucket{_prom_labels(inst.labels, le_inf)} "
+                f"{inst.count}")
+            lines.append(f"{name}_sum{_prom_labels(inst.labels)} "
+                         f"{inst.total}")
+            lines.append(f"{name}_count{_prom_labels(inst.labels)} "
+                         f"{inst.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metric_jsonl_lines(registry: MetricRegistry) -> List[str]:
+    """One JSON object per instrument."""
+    lines: List[str] = []
+    for inst in registry.instruments():
+        record = {"name": inst.name, "labels": dict(inst.labels)}
+        if isinstance(inst, Counter):
+            record["type"] = "counter"
+            record["value"] = inst.value
+        elif isinstance(inst, Gauge):
+            record["type"] = "gauge"
+            record["value"] = inst.value
+        else:
+            record["type"] = "histogram"
+            record.update(count=inst.count, total=inst.total,
+                          min=inst.vmin, max=inst.vmax,
+                          mean=inst.mean,
+                          p50=inst.quantile(0.50),
+                          p95=inst.quantile(0.95),
+                          p99=inst.quantile(0.99),
+                          buckets=inst.nonzero_buckets())
+        lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def span_jsonl_lines(spans: Sequence[Span]) -> List[str]:
+    """One JSON object per span."""
+    return [json.dumps({"type": "span", **span.as_dict()},
+                       sort_keys=True) for span in spans]
+
+
+def jsonl_dump(registry: Optional[MetricRegistry] = None,
+               recorder: Optional[FlightRecorder] = None) -> str:
+    """Full JSONL dump: metrics first, then spans (oldest first)."""
+    lines: List[str] = []
+    if registry is not None:
+        lines.extend(metric_jsonl_lines(registry))
+    if recorder is not None:
+        lines.extend(span_jsonl_lines(recorder.spans()))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(path: str, registry: Optional[MetricRegistry] = None,
+                recorder: Optional[FlightRecorder] = None) -> int:
+    """Write the JSONL dump to ``path``; returns the line count."""
+    body = jsonl_dump(registry, recorder)
+    with open(path, "w") as handle:
+        handle.write(body)
+    return body.count("\n")

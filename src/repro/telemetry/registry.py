@@ -1,0 +1,332 @@
+"""Metrics registry: counters, gauges, and log-bucketed histograms.
+
+The measurement substrate for the whole stack.  Three design rules,
+all driven by the data path:
+
+1. **Hot-path cheap.**  An instrument is a tiny object bound once (at
+   component construction) and mutated with one method call per event;
+   there is no name lookup, no lock, and no allocation on the record
+   path.  Histograms bucket by ``int.bit_length()`` — one C-level call
+   — instead of a bisect over bucket bounds.
+2. **True no-op when disabled.**  A disabled :class:`MetricRegistry`
+   hands out shared null instruments whose mutators are empty
+   methods, so instrumented code needs no ``if telemetry:`` guards
+   and pays only a no-op call.  Nothing is ever stored.
+3. **Exact where it matters.**  Histograms keep exact ``count``/
+   ``total``/``min``/``max`` alongside the bucketed distribution, so
+   means are exact and only quantiles are approximate (bounded by the
+   power-of-two bucket width).
+
+Instruments are identified by name plus a small set of labels (e.g.
+``counter("enclave_lookups_total", enclave="h1.enclave")``), mirroring
+the Prometheus data model the exporter emits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Label sets are canonicalized to sorted tuples so the same labels in
+#: any keyword order resolve to the same instrument.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: 64-bit values have bit_length() in [0, 64]; one extra bucket for
+#: zero/negative observations.
+_N_BUCKETS = 65
+
+
+def nearest_rank(values, pct: float) -> float:
+    """Nearest-rank percentile of ``values``; 0.0 for an empty sample.
+
+    The canonical definition: the smallest value v such that at least
+    ``pct`` percent of the sample is <= v, i.e. the
+    ``ceil(pct/100 * n)``-th smallest (1-indexed).  ``pct <= 0``
+    returns the minimum, ``pct >= 100`` the maximum — no off-by-one
+    at either boundary, at any sample size.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if pct <= 0:
+        return float(ordered[0])
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    return float(ordered[min(rank, len(ordered)) - 1])
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({_qualified(self.name, self.labels)}={self.value})"
+
+
+class Gauge:
+    """A value that goes up and down (backlog, epoch, clock)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def dec(self, n: int = 1) -> None:
+        self.value -= n
+
+    def __repr__(self) -> str:
+        return f"Gauge({_qualified(self.name, self.labels)}={self.value})"
+
+
+class Histogram:
+    """A log2-bucketed distribution with exact count/total/min/max.
+
+    Bucket ``i`` (``1 <= i <= 64``) holds observations ``v`` with
+    ``v.bit_length() == i``, i.e. ``2**(i-1) <= v < 2**i``; bucket 0
+    holds ``v <= 0``.  The bucket index is one ``bit_length()`` call,
+    cheap enough for per-packet observation.  Quantiles come from the
+    cumulative bucket counts and are therefore upper bounds accurate
+    to one power of two — fine for latency/ops distributions spanning
+    decades.
+    """
+
+    __slots__ = ("name", "labels", "bucket_counts", "count", "total",
+                 "vmin", "vmax")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.bucket_counts: List[int] = [0] * _N_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.vmin: Optional[int] = None
+        self.vmax: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        self.bucket_counts[value.bit_length() if value > 0 else 0] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (q in [0, 1]): the upper bound of
+        the bucket where the cumulative count crosses ``q * count``."""
+        if self.count == 0:
+            return 0.0
+        if q <= 0:
+            return float(self.vmin if self.vmin is not None else 0)
+        target = math.ceil(q * self.count)
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            cumulative += n
+            if cumulative >= target:
+                if i == 0:
+                    return 0.0
+                # Clamp the top bucket's bound to the observed max.
+                bound = (1 << i) - 1
+                return float(min(bound, self.vmax))
+        return float(self.vmax)
+
+    def nonzero_buckets(self) -> List[Tuple[int, int]]:
+        """``(upper_bound, count)`` pairs for the occupied buckets."""
+        out = []
+        for i, n in enumerate(self.bucket_counts):
+            if n:
+                out.append((0 if i == 0 else (1 << i) - 1, n))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Histogram({_qualified(self.name, self.labels)}: "
+                f"n={self.count} mean={self.mean:.1f})")
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0
+
+    def set(self, value: int) -> None:
+        pass
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def dec(self, n: int = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    count = 0
+    total = 0
+    mean = 0.0
+    vmin = None
+    vmax = None
+
+    def observe(self, value: int) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def nonzero_buckets(self) -> List[Tuple[int, int]]:
+        return []
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _qualified(name: str, labels: LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class RegistryError(Exception):
+    """An instrument was re-registered with a different type."""
+
+
+class MetricRegistry:
+    """Owns every instrument of one telemetry domain.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call registers the instrument, later calls with the same name and
+    labels return the same object — components bind instruments once
+    at construction and mutate them directly on the hot path.
+    Re-registering a name as a different instrument kind is an error.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[Tuple[str, LabelKey], object] = {}
+        self._kinds: Dict[str, type] = {}
+
+    # -- instrument factories ------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    _NULLS = {Counter: NULL_COUNTER, Gauge: NULL_GAUGE,
+              Histogram: NULL_HISTOGRAM}
+
+    def _get(self, kind: type, name: str,
+             labels: Mapping[str, object]):
+        if not self.enabled:
+            return self._NULLS[kind]
+        known = self._kinds.get(name)
+        if known is not None and known is not kind:
+            raise RegistryError(
+                f"metric {name!r} already registered as "
+                f"{known.__name__}, not {kind.__name__}")
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = kind(name, key[1])
+            self._instruments[key] = instrument
+            self._kinds[name] = kind
+        return instrument
+
+    # -- introspection --------------------------------------------------
+
+    def instruments(self) -> List[object]:
+        """Every live instrument, sorted by (name, labels)."""
+        return [self._instruments[k]
+                for k in sorted(self._instruments)]
+
+    def find(self, name: str) -> List[object]:
+        """All instruments with ``name`` across label sets."""
+        return [inst for (n, _), inst
+                in sorted(self._instruments.items()) if n == name]
+
+    def total(self, name: str) -> int:
+        """Sum of a counter/gauge value (or histogram count) across
+        every label set of ``name``."""
+        out = 0
+        for inst in self.find(name):
+            out += inst.count if isinstance(inst, Histogram) \
+                else inst.value
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-data dump, JSON-serializable, for export and for
+        shipping inside a ``StatsReport``."""
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, int] = {}
+        histograms: Dict[str, Dict[str, object]] = {}
+        for (name, labels), inst in sorted(self._instruments.items()):
+            qual = _qualified(name, labels)
+            if isinstance(inst, Counter):
+                counters[qual] = inst.value
+            elif isinstance(inst, Gauge):
+                gauges[qual] = inst.value
+            else:
+                histograms[qual] = {
+                    "count": inst.count,
+                    "total": inst.total,
+                    "min": inst.vmin,
+                    "max": inst.vmax,
+                    "mean": inst.mean,
+                    "p50": inst.quantile(0.50),
+                    "p95": inst.quantile(0.95),
+                    "buckets": inst.nonzero_buckets(),
+                }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh run over the same
+        registry)."""
+        self._instruments.clear()
+        self._kinds.clear()
+
+
+def labels_of(instrument) -> Dict[str, str]:
+    """The instrument's labels as a plain dict (empty for nulls)."""
+    return dict(getattr(instrument, "labels", ()) or ())
+
+
+def qualified_name(instrument) -> str:
+    return _qualified(instrument.name, instrument.labels)

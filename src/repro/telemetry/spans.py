@@ -1,0 +1,238 @@
+"""Span-based tracing for the message data path.
+
+A :class:`Span` is one timed step of handling a message — stage
+classification, the enclave match-action lookup, one interpreter
+execution, a StatsReport push.  Spans nest: the :class:`Tracer`
+keeps an active-span stack, so a span opened inside another span's
+``with`` block records that span as its parent and inherits its
+``trace_id``.  A message's full journey is then one *trace*: the
+set of spans sharing a ``trace_id``, linked by ``parent_id``.
+
+Finished spans land in a bounded :class:`FlightRecorder` — a ring
+buffer that keeps the most recent N spans and counts what it drops,
+so tracing a long run costs bounded memory (the same reasoning as
+the reservoir in :mod:`repro.core.accounting`).
+
+Ids are drawn from plain counters, not randomness, so traces are
+deterministic under the simulator's seeded runs.  Durations use
+``time.perf_counter_ns`` by default because the simulator clock does
+not advance while a packet is being processed; pass ``clock=`` to
+measure in a different timebase.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+
+class Span:
+    """One timed, attributed step; ends when its ``with`` block exits."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name",
+                 "start_ns", "end_ns", "attrs", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: int,
+                 span_id: int, parent_id: Optional[int],
+                 start_ns: int, attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns: Optional[int] = None
+        self.attrs = attrs
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach result attributes (hit table, ops executed, ...)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._end(self)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name} trace={self.trace_id} "
+                f"span={self.span_id} parent={self.parent_id} "
+                f"dur={self.duration_ns}ns)")
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = span_id = -1
+    parent_id = None
+    start_ns = end_ns = 0
+    duration_ns = 0
+    attrs: Dict[str, object] = {}
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class FlightRecorder:
+    """Bounded ring of the most recently finished spans."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be > 0")
+        self.capacity = capacity
+        self._ring: Deque[Span] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.recorded - len(self._ring)
+
+    def add(self, span: Span) -> None:
+        self._ring.append(span)
+        self.recorded += 1
+
+    def spans(self) -> List[Span]:
+        """Retained spans, oldest first."""
+        return list(self._ring)
+
+    def traces(self) -> Dict[int, List[Span]]:
+        """Retained spans grouped by trace, each trace oldest-first."""
+        out: Dict[int, List[Span]] = {}
+        for span in self._ring:
+            out.setdefault(span.trace_id, []).append(span)
+        return out
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.recorded = 0
+
+
+class Tracer:
+    """Creates spans and maintains the active-span (nesting) stack.
+
+    Not re-entrant across threads — the whole stack is single-threaded
+    discrete-event code, so one context stack suffices.
+    """
+
+    def __init__(self, recorder: Optional[FlightRecorder] = None,
+                 enabled: bool = True,
+                 clock: Callable[[], int] = time.perf_counter_ns
+                 ) -> None:
+        self.enabled = enabled
+        self.recorder = recorder
+        self.clock = clock
+        self._stack: List[Span] = []
+        self._next_trace = 1
+        self._next_span = 1
+
+    def span(self, name: str, **attrs: object):
+        """Open a span; use as ``with tracer.span("enclave.process"):``.
+
+        The span becomes the active parent for any span opened before
+        its ``with`` block exits.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            trace_id = self._next_trace
+            self._next_trace += 1
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(self, name, trace_id, self._next_span, parent_id,
+                    self.clock(), attrs)
+        self._next_span += 1
+        self._stack.append(span)
+        return span
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def _end(self, span: Span) -> None:
+        span.end_ns = self.clock()
+        # Unwind to (and past) the span being ended; an exception may
+        # have skipped inner __exit__ calls, so close those too.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end_ns is None:
+                top.end_ns = span.end_ns
+                if self.recorder is not None:
+                    self.recorder.add(top)
+        if self.recorder is not None:
+            self.recorder.add(span)
+
+
+def traces_containing(spans: Sequence[Span],
+                      names: Sequence[str]) -> List[int]:
+    """Trace ids whose span-name set covers all of ``names``.
+
+    The data-path acceptance check: a trace holding
+    ``stage.classify``, ``enclave.lookup`` and ``interpreter.execute``
+    is one message followed end to end.
+    """
+    required = set(names)
+    seen: Dict[int, set] = {}
+    for span in spans:
+        seen.setdefault(span.trace_id, set()).add(span.name)
+    return [trace_id for trace_id, present in seen.items()
+            if required <= present]
+
+
+def format_trace(spans: Sequence[Span]) -> str:
+    """Render one trace as an indented tree (for CLI summaries)."""
+    by_parent: Dict[Optional[int], List[Span]] = {}
+    for span in sorted(spans, key=lambda s: (s.start_ns, s.span_id)):
+        by_parent.setdefault(span.parent_id, []).append(span)
+    span_ids = {s.span_id for s in spans}
+    lines: List[str] = []
+
+    def walk(parent_id: Optional[int], depth: int) -> None:
+        for span in by_parent.get(parent_id, ()):
+            attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            lines.append(f"{'  ' * depth}{span.name} "
+                         f"[{span.duration_ns} ns]"
+                         + (f" {attrs}" if attrs else ""))
+            walk(span.span_id, depth + 1)
+
+    # Roots: spans with no parent, or whose parent fell out of the ring.
+    walk(None, 0)
+    for span in by_parent:
+        if span is not None and span not in span_ids:
+            walk(span, 0)
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Unknown rule/table ids raise a clear error naming the id.
+
+The error is both an :class:`EnclaveError` (existing callers keep
+working) and a :class:`KeyError` (the natural type for a missing-id
+lookup), and its message names the offending id plus the known ids.
+"""
+
+import pytest
+
+from repro.core import Enclave, EnclaveError
+from repro.core.enclave import UnknownIdError
+
+
+def noop(packet):
+    packet.priority = 1
+
+
+@pytest.fixture
+def enclave():
+    e = Enclave("ids.enclave")
+    e.install_function(noop)
+    return e
+
+
+class TestRemoveRule:
+    def test_unknown_rule_id(self, enclave):
+        rule_id = enclave.install_rule("*", "noop")
+        with pytest.raises(UnknownIdError) as exc:
+            enclave.remove_rule(rule_id + 41)
+        msg = str(exc.value)
+        assert str(rule_id + 41) in msg
+        assert str(rule_id) in msg  # known ids listed
+
+    def test_is_both_enclave_error_and_key_error(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.remove_rule(99)
+        with pytest.raises(KeyError):
+            enclave.remove_rule(99)
+
+    def test_remove_twice(self, enclave):
+        rule_id = enclave.install_rule("*", "noop")
+        enclave.remove_rule(rule_id)
+        with pytest.raises(UnknownIdError):
+            enclave.remove_rule(rule_id)
+
+    def test_known_id_still_removes(self, enclave):
+        rule_id = enclave.install_rule("*", "noop")
+        enclave.remove_rule(rule_id)  # no raise
+
+    def test_unknown_table_in_remove_rule(self, enclave):
+        with pytest.raises(UnknownIdError, match="no table with id 7"):
+            enclave.remove_rule(1, table_id=7)
+
+
+class TestDeleteTable:
+    def test_unknown_table_id(self, enclave):
+        enclave.create_table(3)
+        with pytest.raises(UnknownIdError) as exc:
+            enclave.delete_table(9)
+        msg = str(exc.value)
+        assert "9" in msg
+        assert "[0, 3]" in msg  # known ids listed
+
+    def test_is_both_enclave_error_and_key_error(self, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.delete_table(9)
+        with pytest.raises(KeyError):
+            enclave.delete_table(9)
+
+    def test_table_zero_still_protected(self, enclave):
+        # Deleting the root table is a misuse, not a missing id.
+        with pytest.raises(EnclaveError, match="table 0"):
+            enclave.delete_table(0)
+
+    def test_table_lookup_unknown(self, enclave):
+        with pytest.raises(UnknownIdError, match="no table with id 5"):
+            enclave.table(5)
+
+    def test_message_is_not_keyerror_repr(self, enclave):
+        # KeyError.__str__ reprs its argument; UnknownIdError must
+        # render the plain message.
+        with pytest.raises(UnknownIdError) as exc:
+            enclave.delete_table(9)
+        assert not str(exc.value).startswith("'")
+        assert not str(exc.value).startswith('"')

@@ -1,0 +1,64 @@
+"""Telemetry-disabled overhead gate (ISSUE acceptance: <= 5%).
+
+The interpreter hot path must not slow down when telemetry is off:
+``Interpreter.telemetry`` stays ``None`` by default, so ``execute()``
+pays exactly one ``is None`` check per invocation.  This test holds
+the fast-dispatch ns/op to within 5% of the checked-in baseline
+(``benchmarks/interp_baseline.json``) — the same reference
+``python -m repro bench-smoke`` gates against at 2x.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import micro
+from repro.lang.interpreter import Interpreter
+from repro.telemetry import Telemetry
+
+BASELINE = os.path.join(os.path.dirname(__file__), "..", "..",
+                        "benchmarks", "interp_baseline.json")
+
+#: ISSUE bound: ns/op within 5% of the recorded baseline.
+THRESHOLD = 1.05
+
+
+def test_interpreter_defaults_to_no_telemetry():
+    interp = Interpreter()
+    assert interp.telemetry is None
+
+
+def test_bind_disabled_telemetry_keeps_fast_path():
+    interp = Interpreter()
+    interp.bind_telemetry(Telemetry(enabled=False,
+                                    recorder_capacity=1))
+    assert interp.telemetry is None
+
+
+def test_disabled_overhead_within_baseline():
+    with open(BASELINE) as handle:
+        baseline = json.load(handle)
+
+    # Timing on shared CI hardware is noisy; retry a few times and
+    # gate on the best run (a true regression fails every attempt).
+    attempts = 3
+    last = None
+    for attempt in range(attempts):
+        results = micro.run_dispatch_micro(invocations=600)
+        for res in results:
+            ref = baseline.get(res.name)
+            assert ref is not None, \
+                f"{res.name} missing from {BASELINE}"
+            assert res.ops_per_invoke == ref["ops_per_invoke"], \
+                "program drifted; re-baseline via bench-smoke"
+        worst = max(res.fast_ns_per_op /
+                    baseline[res.name]["fast_ns_per_op"]
+                    for res in results)
+        last = worst
+        if worst <= THRESHOLD:
+            return
+    pytest.fail(
+        f"fast dispatch ns/op is {last:.2f}x the baseline after "
+        f"{attempts} attempts (allowed {THRESHOLD}x) — the "
+        f"telemetry-disabled hot path regressed")

@@ -25,6 +25,32 @@ class TestPercentile:
         assert mean([1, 2, 3]) == 2.0
         assert mean([]) == 0.0
 
+    # Nearest-rank edge cases: the old round((pct/100) * (n - 1))
+    # index underestimated high percentiles on small samples (e.g.
+    # p95 of two values picked the *smaller* one).
+    def test_n1_all_percentiles(self):
+        for pct in (0, 1, 50, 95, 99, 100):
+            assert percentile([42], pct) == 42
+
+    def test_n2_high_percentile_picks_max(self):
+        assert percentile([10, 20], 95) == 20
+        assert percentile([20, 10], 99) == 20
+        assert percentile([10, 20], 50) == 10
+
+    def test_pct_0_is_min(self):
+        assert percentile([5, 1, 9], 0) == 1
+        assert percentile([5, 1, 9], -3) == 1
+
+    def test_pct_100_is_max(self):
+        assert percentile([5, 1, 9], 100) == 9
+        assert percentile([5, 1, 9], 250) == 9
+
+    def test_nearest_rank_definition(self):
+        # p25 of 1..10 is the ceil(0.25*10) = 3rd smallest.
+        assert percentile(list(range(1, 11)), 25) == 3
+        # p95 of 1..100 is the ceil(0.95*100) = 95th smallest.
+        assert percentile(list(range(1, 101)), 95) == 95
+
 
 class TestFlowTracker:
     def test_record_and_fct(self):

@@ -1,0 +1,98 @@
+"""Tests for the Prometheus and JSONL exporters."""
+
+import json
+
+from repro.telemetry import (FlightRecorder, MetricRegistry, Tracer,
+                             jsonl_dump, metric_jsonl_lines,
+                             prometheus_text, span_jsonl_lines,
+                             write_jsonl)
+
+
+def sample_registry():
+    reg = MetricRegistry()
+    reg.counter("pkts_total", host="h1").inc(7)
+    reg.counter("pkts_total", host="h2").inc(1)
+    reg.gauge("backlog_bytes", queue="q0").set(512)
+    h = reg.histogram("lat_ns")
+    for v in (1, 2, 3, 1000):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges(self):
+        text = prometheus_text(sample_registry())
+        lines = text.splitlines()
+        assert "# TYPE pkts_total counter" in lines
+        assert lines.count("# TYPE pkts_total counter") == 1
+        assert 'pkts_total{host="h1"} 7' in lines
+        assert 'pkts_total{host="h2"} 1' in lines
+        assert "# TYPE backlog_bytes gauge" in lines
+        assert 'backlog_bytes{queue="q0"} 512' in lines
+
+    def test_histogram_series(self):
+        text = prometheus_text(sample_registry())
+        lines = text.splitlines()
+        assert "# TYPE lat_ns histogram" in lines
+        # Buckets are cumulative: 1 -> le=1, 2,3 -> le=3, 1000 -> le=1023.
+        assert 'lat_ns_bucket{le="1"} 1' in lines
+        assert 'lat_ns_bucket{le="3"} 3' in lines
+        assert 'lat_ns_bucket{le="1023"} 4' in lines
+        assert 'lat_ns_bucket{le="+Inf"} 4' in lines
+        assert "lat_ns_sum 1006" in lines
+        assert "lat_ns_count 4" in lines
+
+    def test_name_sanitization(self):
+        reg = MetricRegistry()
+        reg.counter("weird-name.total", **{"bad-label": "x"}).inc()
+        text = prometheus_text(reg)
+        assert 'weird_name_total{bad_label="x"} 1' in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricRegistry()) == ""
+
+
+class TestJsonl:
+    def test_metric_lines_parse(self):
+        records = [json.loads(line)
+                   for line in metric_jsonl_lines(sample_registry())]
+        by_key = {(r["name"], tuple(sorted(r["labels"].items()))): r
+                  for r in records}
+        counter = by_key[("pkts_total", (("host", "h1"),))]
+        assert counter["type"] == "counter" and counter["value"] == 7
+        hist = by_key[("lat_ns", ())]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 4 and hist["total"] == 1006
+        assert hist["min"] == 1 and hist["max"] == 1000
+
+    def test_span_lines_parse(self):
+        rec = FlightRecorder()
+        ticks = iter(range(1, 100))
+        tracer = Tracer(rec, clock=lambda: next(ticks))
+        with tracer.span("root", host="h1"):
+            with tracer.span("leaf"):
+                pass
+        records = [json.loads(line)
+                   for line in span_jsonl_lines(rec.spans())]
+        assert [r["name"] for r in records] == ["leaf", "root"]
+        root = records[1]
+        assert root["type"] == "span"
+        assert root["parent"] is None
+        assert root["attrs"] == {"host": "h1"}
+        assert records[0]["parent"] == root["span"]
+        assert records[0]["trace"] == root["trace"]
+
+    def test_dump_and_write(self, tmp_path):
+        reg = sample_registry()
+        rec = FlightRecorder()
+        tracer = Tracer(rec, clock=lambda: 0)
+        with tracer.span("s"):
+            pass
+        body = jsonl_dump(reg, rec)
+        parsed = [json.loads(line) for line in body.splitlines()]
+        assert parsed[-1]["type"] == "span"
+        assert any(r.get("type") == "counter" for r in parsed)
+        out = tmp_path / "telemetry.jsonl"
+        n = write_jsonl(str(out), reg, rec)
+        assert n == len(parsed)
+        assert out.read_text() == body

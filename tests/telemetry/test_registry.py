@@ -1,0 +1,158 @@
+"""Unit tests for the metrics registry (repro.telemetry.registry)."""
+
+import pytest
+
+from repro.telemetry import (NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM,
+                             Telemetry)
+from repro.telemetry.registry import (MetricRegistry, RegistryError,
+                                      nearest_rank)
+
+
+class TestNearestRank:
+    def test_empty(self):
+        assert nearest_rank([], 95) == 0.0
+
+    def test_single(self):
+        for pct in (0, 50, 95, 100):
+            assert nearest_rank([3], pct) == 3
+
+    def test_two_values(self):
+        assert nearest_rank([1, 2], 50) == 1
+        assert nearest_rank([1, 2], 51) == 2
+        assert nearest_rank([1, 2], 95) == 2
+
+    def test_clamping(self):
+        assert nearest_rank([4, 8, 6], 0) == 4
+        assert nearest_rank([4, 8, 6], -1) == 4
+        assert nearest_rank([4, 8, 6], 100) == 8
+        assert nearest_rank([4, 8, 6], 101) == 8
+
+    def test_unsorted_input(self):
+        assert nearest_rank([9, 1, 5], 50) == 5
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricRegistry()
+        c = reg.counter("requests_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_memoized_per_label_set(self):
+        reg = MetricRegistry()
+        a = reg.counter("hits_total", host="h1")
+        b = reg.counter("hits_total", host="h1")
+        other = reg.counter("hits_total", host="h2")
+        assert a is b
+        assert a is not other
+        a.inc()
+        assert reg.total("hits_total") == 1
+        other.inc(2)
+        assert reg.total("hits_total") == 3
+
+    def test_kind_collision(self):
+        reg = MetricRegistry()
+        reg.counter("thing")
+        with pytest.raises(RegistryError):
+            reg.gauge("thing")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricRegistry().gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_exact_stats(self):
+        h = MetricRegistry().histogram("lat_ns")
+        for v in (1, 2, 3, 100):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 106
+        assert h.vmin == 1
+        assert h.vmax == 100
+
+    def test_quantile_within_bucket_resolution(self):
+        h = MetricRegistry().histogram("lat_ns")
+        for v in range(1, 101):
+            h.observe(v)
+        # Bucket upper bounds are 2^k - 1; p50 of 1..100 lands in
+        # the 33..64 bucket, and p100 is clamped to the true max.
+        assert 32 <= h.quantile(0.50) <= 63
+        assert h.quantile(1.0) == 100
+
+    def test_nonpositive_goes_to_bucket_zero(self):
+        h = MetricRegistry().histogram("lat_ns")
+        h.observe(0)
+        h.observe(-5)
+        assert h.count == 2
+        assert h.bucket_counts[0] == 2
+        assert h.quantile(0.5) == 0.0
+
+    def test_empty_quantile(self):
+        assert MetricRegistry().histogram("x").quantile(0.95) == 0
+
+
+class TestDisabledRegistry:
+    def test_instruments_are_shared_nulls(self):
+        reg = MetricRegistry(enabled=False)
+        assert reg.counter("a_total") is NULL_COUNTER
+        assert reg.gauge("b") is NULL_GAUGE
+        assert reg.histogram("c") is NULL_HISTOGRAM
+
+    def test_null_ops_are_noops(self):
+        reg = MetricRegistry(enabled=False)
+        c = reg.counter("a_total")
+        c.inc()
+        c.inc(10)
+        assert c.value == 0
+        h = reg.histogram("h")
+        h.observe(42)
+        assert h.count == 0
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+
+    def test_null_telemetry_bundle(self):
+        tel = Telemetry(enabled=False, recorder_capacity=1)
+        tel.registry.counter("x_total").inc()
+        with tel.tracer.span("s"):
+            pass
+        assert tel.recorder.recorded == 0
+        assert not tel.registry.instruments()
+
+
+class TestSnapshot:
+    def test_structure(self):
+        reg = MetricRegistry()
+        reg.counter("pkts_total", host="h1").inc(3)
+        reg.gauge("depth").set(7)
+        h = reg.histogram("lat_ns")
+        h.observe(10)
+        h.observe(20)
+        snap = reg.snapshot()
+        assert snap["counters"] == {'pkts_total{host=h1}': 3}
+        assert snap["gauges"] == {"depth": 7}
+        hist = snap["histograms"]["lat_ns"]
+        assert hist["count"] == 2
+        assert hist["total"] == 30
+        assert hist["min"] == 10 and hist["max"] == 20
+        assert hist["mean"] == pytest.approx(15.0)
+
+    def test_reset_drops_instruments(self):
+        reg = MetricRegistry()
+        c = reg.counter("a_total")
+        c.inc(5)
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+        fresh = reg.counter("a_total")
+        assert fresh is not c
+        assert fresh.value == 0
+        # A reset also forgets the kind, so the name can be reused.
+        reg.reset()
+        reg.gauge("a_total")

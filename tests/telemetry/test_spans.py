@@ -1,0 +1,177 @@
+"""Unit tests for span tracing (repro.telemetry.spans)."""
+
+import pytest
+
+from repro.telemetry import (FlightRecorder, NULL_SPAN, Telemetry,
+                             Tracer)
+from repro.telemetry.spans import format_trace, traces_containing
+
+
+def make_tracer(capacity=64):
+    """Tracer on a deterministic manual clock (1 tick per call)."""
+    ticks = [0]
+
+    def clock():
+        ticks[0] += 1
+        return ticks[0]
+
+    rec = FlightRecorder(capacity=capacity)
+    return Tracer(recorder=rec, clock=clock), rec
+
+
+class TestNesting:
+    def test_child_inherits_trace_and_parent(self):
+        tracer, rec = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        spans = rec.spans()
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert spans[0].end_ns <= spans[1].end_ns
+
+    def test_sibling_roots_get_fresh_traces(self):
+        tracer, rec = make_tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = rec.spans()
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None and b.parent_id is None
+
+    def test_current_tracks_stack(self):
+        tracer, _ = make_tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_attrs_and_set(self):
+        tracer, rec = make_tracer()
+        with tracer.span("s", host="h1") as span:
+            span.set(ops=40)
+        (rec_span,) = rec.spans()
+        assert rec_span.attrs == {"host": "h1", "ops": 40}
+        assert rec_span.duration_ns > 0
+        d = rec_span.as_dict()
+        assert d["name"] == "s" and d["attrs"]["ops"] == 40
+
+
+class TestExceptions:
+    def test_error_attr_and_stack_unwind(self):
+        tracer, rec = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        # Both spans closed despite the exception; stack is clean.
+        assert tracer.current() is None
+        by_name = {s.name: s for s in rec.spans()}
+        assert by_name["inner"].attrs["error"] == "RuntimeError"
+        assert by_name["outer"].attrs["error"] == "RuntimeError"
+        assert all(s.end_ns is not None for s in rec.spans())
+
+    def test_tracer_usable_after_exception(self):
+        tracer, rec = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError()
+        with tracer.span("good"):
+            pass
+        good = rec.spans()[-1]
+        assert good.parent_id is None  # not parented under "bad"
+
+
+class TestFlightRecorder:
+    def test_bounded_with_drop_count(self):
+        tracer, rec = make_tracer(capacity=10)
+        for _ in range(25):
+            with tracer.span("s"):
+                pass
+        assert len(rec.spans()) == 10
+        assert rec.recorded == 25
+        assert rec.dropped == 15
+
+    def test_traces_grouping(self):
+        tracer, rec = make_tracer()
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+        traces = rec.traces()
+        assert len(traces) == 1
+        (spans,) = traces.values()
+        assert {s.name for s in spans} == {"root", "leaf"}
+
+    def test_clear(self):
+        tracer, rec = make_tracer()
+        with tracer.span("s"):
+            pass
+        rec.clear()
+        assert rec.spans() == [] and rec.recorded == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDisabled:
+    def test_disabled_tracer_returns_null_span(self):
+        tracer = Tracer(recorder=FlightRecorder(), enabled=False)
+        span = tracer.span("s", k=1)
+        assert span is NULL_SPAN
+        with span as s:
+            s.set(more=2)
+        assert tracer.recorder.recorded == 0
+        assert NULL_SPAN.attrs == {}
+
+    def test_disabled_telemetry_bundle(self):
+        tel = Telemetry(enabled=False, recorder_capacity=1)
+        with tel.tracer.span("s"):
+            pass
+        assert tel.recorder.recorded == 0
+
+
+class TestTraceQueries:
+    def test_traces_containing(self):
+        tracer, rec = make_tracer()
+        with tracer.span("message.packet"):
+            with tracer.span("stage.classify"):
+                pass
+            with tracer.span("enclave.process"):
+                with tracer.span("interpreter.execute"):
+                    pass
+        with tracer.span("control.stats_report"):
+            pass
+        spans = rec.spans()
+        full = traces_containing(
+            spans, ("stage.classify", "interpreter.execute"))
+        assert len(full) == 1
+        assert traces_containing(spans, ("no.such.span",)) == []
+
+    def test_format_trace_tree(self):
+        tracer, rec = make_tracer()
+        with tracer.span("root", host="h1"):
+            with tracer.span("child"):
+                pass
+        text = format_trace(rec.spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert "host=h1" in lines[0]
+        assert lines[1].startswith("  child")
+
+    def test_format_trace_orphaned_parent(self):
+        # A finished child whose parent is still open (so not yet in
+        # the recorder) renders as a root instead of vanishing.
+        tracer, rec = make_tracer()
+        root = tracer.span("long.lived")
+        with tracer.span("child"):
+            pass
+        spans = rec.spans()
+        assert [s.name for s in spans] == ["child"]
+        assert format_trace(spans).startswith("child")
+        with root:
+            pass  # close it so the tracer stack drains
