@@ -85,6 +85,13 @@ def _cmd_bench_smoke(args) -> int:
 
     from .experiments import micro
 
+    if args.baseline is None:
+        args.baseline = ("benchmarks/interp_batch_baseline.json"
+                         if args.batch
+                         else "benchmarks/interp_baseline.json")
+    if args.batch:
+        return _bench_smoke_batch(args)
+
     results = micro.run_dispatch_micro(invocations=args.invocations)
     print(micro.format_dispatch_results(results))
 
@@ -132,6 +139,70 @@ def _cmd_bench_smoke(args) -> int:
     if status == 0:
         print(f"bench-smoke OK (within {args.threshold}x of "
               f"{args.baseline})")
+    return status
+
+
+def _bench_smoke_batch(args) -> int:
+    """Batched-data-path regression gate.
+
+    Two checks: the batched path must stay at least
+    ``--min-speedup``x faster than the scalar path on
+    rule-homogeneous traffic (the tentpole claim of the batched
+    execution work), and its absolute ns/packet must stay within
+    ``--threshold``x of the checked-in batch baseline.
+    """
+    import json
+    import os
+
+    from .experiments import micro
+
+    results = micro.run_batch_micro(packets=args.packets,
+                                    batch_size=args.batch_size)
+    print(micro.format_batch_results(results))
+
+    if args.update_baseline:
+        baseline = {
+            r.name: {
+                "batch_size": r.batch_size,
+                "scalar_ns_per_packet":
+                    round(r.scalar_ns_per_packet, 1),
+                "batch_ns_per_packet": round(r.batch_ns_per_packet, 1),
+                "speedup": round(r.speedup, 2)}
+            for r in results}
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote baseline {args.baseline}")
+        return 0
+
+    status = 0
+    for res in results:
+        if res.speedup < args.min_speedup:
+            print(f"FAIL {res.name}: batch speedup {res.speedup:.2f}x "
+                  f"< required {args.min_speedup}x")
+            status = 1
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with "
+              f"--update-baseline to create one")
+        return 1
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    for res in results:
+        ref = baseline.get(res.name)
+        if ref is None:
+            print(f"FAIL {res.name}: not in baseline {args.baseline}")
+            status = 1
+            continue
+        ref_ns = ref["batch_ns_per_packet"]
+        if res.batch_ns_per_packet > args.threshold * ref_ns:
+            print(f"FAIL {res.name}: {res.batch_ns_per_packet:.1f} "
+                  f"ns/pkt is >{args.threshold}x the baseline "
+                  f"{ref_ns:.1f} ns/pkt")
+            status = 1
+    if status == 0:
+        print(f"bench-smoke --batch OK (>= {args.min_speedup}x over "
+              f"scalar; within {args.threshold}x of {args.baseline})")
     return status
 
 
@@ -290,9 +361,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--backend", default="interpreter",
                            choices=("interpreter", "native"))
         if name == "bench-smoke":
-            p.add_argument("--baseline",
-                           default="benchmarks/interp_baseline.json",
-                           help="baseline JSON path")
+            p.add_argument("--baseline", default=None,
+                           help="baseline JSON path (default: "
+                                "benchmarks/interp_baseline.json, or "
+                                "benchmarks/interp_batch_baseline.json "
+                                "with --batch)")
             p.add_argument("--invocations", type=int, default=800)
             p.add_argument("--threshold", type=float, default=2.0,
                            help="fail when ns/op exceeds this "
@@ -300,6 +373,16 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--update-baseline", action="store_true",
                            help="rewrite the baseline instead of "
                                 "checking against it")
+            p.add_argument("--batch", action="store_true",
+                           help="gate the batched data path instead "
+                                "of interpreter dispatch")
+            p.add_argument("--batch-size", type=int, default=64,
+                           help="packets per enclave batch (--batch)")
+            p.add_argument("--packets", type=int, default=4096,
+                           help="packets per timed run (--batch)")
+            p.add_argument("--min-speedup", type=float, default=2.0,
+                           help="required batch-over-scalar speedup "
+                                "(--batch)")
         if name in ("control-demo", "telemetry-report"):
             default_ms = 400 if name == "control-demo" else 100
             p.add_argument("--loss", type=float, default=0.10,

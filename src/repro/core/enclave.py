@@ -245,6 +245,11 @@ class InstalledFunction:
             (i, aref.name)
             for i, aref in enumerate(self.program.array_table)
             if aref.writable and aref.scope == "global"]
+        # Lazily built fast-dispatch batch executor (see
+        # Enclave._run_group); replace_function swaps in a fresh
+        # InstalledFunction, so a stale runner never outlives its
+        # program.
+        self._batch_runner = None
 
     def execute(self, fields: Sequence[int],
                 arrays: Sequence[Sequence[int]]) -> ExecResult:
@@ -312,6 +317,15 @@ class MatchActionTable:
                 f"(known: {sorted(r.rule_id for r in self._rules)})")
         self._lookup_cache.clear()
 
+    def _scan(self, class_names: Sequence[str]
+              ) -> Optional[Tuple[MatchRule, str]]:
+        """The un-memoized rule scan behind :meth:`lookup`."""
+        for rule in self._rules:
+            for cname in class_names:
+                if rule.matches(cname):
+                    return (rule, cname)
+        return None
+
     def lookup(self, class_names: Sequence[str]
                ) -> Optional[Tuple[MatchRule, str]]:
         """First rule (by priority) matching any of the packet's
@@ -320,18 +334,32 @@ class MatchActionTable:
         hit = self._lookup_cache.get(key, _MISS)
         if hit is not _MISS:
             return hit
-        found: Optional[Tuple[MatchRule, str]] = None
-        for rule in self._rules:
-            for cname in class_names:
-                if rule.matches(cname):
-                    found = (rule, cname)
-                    break
-            if found is not None:
-                break
+        found = self._scan(key)
         if len(self._lookup_cache) >= _LOOKUP_CACHE_LIMIT:
             self._lookup_cache.clear()
         self._lookup_cache[key] = found
         return found
+
+    def lookup_batch(self, keys: Sequence[Tuple[str, ...]]
+                     ) -> List[Optional[Tuple[MatchRule, str]]]:
+        """Memoized lookup of many class-name key tuples in one pass.
+
+        Semantically identical to ``[self.lookup(k) for k in keys]``
+        (same memo cache, same eviction), but written as the batch
+        data path's single vectorized pass: a rule-homogeneous batch
+        costs one dict probe per packet and at most one rule scan.
+        """
+        cache = self._lookup_cache
+        out: List[Optional[Tuple[MatchRule, str]]] = []
+        for key in keys:
+            hit = cache.get(key, _MISS)
+            if hit is _MISS:
+                hit = self._scan(key)
+                if len(cache) >= _LOOKUP_CACHE_LIMIT:
+                    cache.clear()
+                cache[key] = hit
+            out.append(hit)
+        return out
 
     def rules(self) -> List[MatchRule]:
         return list(self._rules)
@@ -339,7 +367,14 @@ class MatchActionTable:
 
 @dataclass
 class ProcessResult:
-    """Outcome of enclave processing for one packet."""
+    """Outcome of enclave processing for one packet.
+
+    ``error`` is only ever set by :meth:`Enclave.process_batch`: where
+    the scalar path raises :class:`ConcurrencyViolation` out of
+    :meth:`Enclave.process_packet`, the batch path isolates the
+    violation to the offending packet (the rest of the batch still
+    processes) and parks the exception here.
+    """
 
     executed: List[str]                 # action functions run, in order
     matched_classes: List[str]
@@ -347,6 +382,7 @@ class ProcessResult:
     to_controller: bool = False
     faults: int = 0
     interpreter_ops: int = 0            # bytecode ops across actions
+    error: Optional[BaseException] = None
 
 
 #: Placements supported by the prototype (Section 4.3): a Windows
@@ -355,6 +391,15 @@ class ProcessResult:
 PLACEMENT_OS = "os"
 PLACEMENT_NIC = "nic"
 _PLACEMENT_BASE_COST_NS = {PLACEMENT_OS: 500, PLACEMENT_NIC: 120}
+
+#: Class name of the enclave's own flow-granularity classification
+#: (appended to every packet; paper Table 2, last row).
+_FLOW_CLASS = "enclave.flows.default"
+
+#: Guard key used for the once-per-group acquisition of PARALLEL and
+#: SERIAL concurrency guards in the batch path; a unique object so it
+#: can never collide with a real message key.
+_BATCH_GUARD_KEY = object()
 
 
 class Enclave:
@@ -418,6 +463,8 @@ class Enclave:
             "enclave_invocations_total", enclave=name)
         self._h_packet_ops = registry.histogram(
             "enclave_packet_ops", enclave=name)
+        self._h_batch_size = registry.histogram(
+            "enclave_batch_size", enclave=name)
         self._tracing = self.telemetry.enabled
         # The enclave is itself a stage that classifies at the
         # granularity of flows (last row of paper Table 2).
@@ -650,35 +697,333 @@ class Enclave:
         Section 6: "action functions ... can be extended to allow for
         computation over a batch of packets.  If the batch contains
         packets from multiple messages, the enclave will have to
-        pre-process it and split it into messages."  Packets are
-        grouped by message id (preserving arrival order within each
-        message) and each group is run back-to-back — amortizing the
-        per-batch entry cost while keeping per-message state
-        consistent.  Results are returned in the original order.
+        pre-process it and split it into messages."
+
+        Batching is an *optimization, never a semantic*: per-packet
+        results, packet writes, message/global state and function
+        stats are identical to calling :meth:`process_packet` on the
+        same packets in the same order (the batch differential harness
+        in ``tests/lang/test_differential.py`` enforces this).  The
+        batch is grouped by the rule matched in table 0 via one
+        memoized :meth:`MatchActionTable.lookup_batch` pass; each
+        group then executes back-to-back so the reader closures,
+        concurrency-guard acquisition and interpreter dispatch context
+        are set up once per group instead of once per packet.  Groups
+        run in first-arrival order with packet order preserved inside
+        each group; a batch that mixes rules can therefore consume the
+        shared enclave RNG in a different interleaving than strict
+        arrival order — invisible unless two different functions both
+        call ``rand``.
+
+        The one divergence from the scalar path is deliberate: a
+        packet whose invocation would raise
+        :class:`ConcurrencyViolation` gets a :class:`ProcessResult`
+        with ``error`` set while the rest of the batch still
+        processes.  Results are returned in the original order.
         """
-        now = now_ns if now_ns is not None else self.clock()
-        order: List[object] = []
-        groups: Dict[object, List[int]] = {}
         entries = list(packets_with_cls)
-        for i, (packet, classifications) in enumerate(entries):
-            msg_id = None
-            for cls in classifications:
-                if cls.message_id is not None:
-                    msg_id = cls.message_id
-                    break
-            if msg_id is None:
-                msg_id = self._flow_classification(packet).message_id
-            if msg_id not in groups:
-                groups[msg_id] = []
-                order.append(msg_id)
-            groups[msg_id].append(i)
+        if not entries:
+            return []
+        now = now_ns if now_ns is not None else self.clock()
+        if not self._tracing:
+            return self._process_batch_impl(entries, now)
+        with self.telemetry.tracer.span("enclave.process_batch",
+                                        enclave=self.name) as span:
+            results = self._process_batch_impl(entries, now)
+            span.set(size=len(entries),
+                     drops=sum(1 for r in results if r.drop))
+        return results
+
+    def _process_batch_impl(self, entries: List[Tuple],
+                            now: int) -> List[ProcessResult]:
+        self._h_batch_size.observe(len(entries))
+        table0 = self._tables[0]
+        stage_rules = bool(self.flow_stage._rule_sets)
+
+        # One lookup key per packet, exactly the class-name tuple the
+        # scalar path builds.  When the enclave's own stage has no
+        # rules the key depends only on the classification list, so a
+        # batch reusing one list object (the common TX case) computes
+        # it once — entries keep the lists alive, making id() stable.
+        keys: List[Tuple[str, ...]] = []
+        if stage_rules:
+            for packet, cls in entries:
+                names = [c.class_name for c in cls]
+                names += [c.class_name for c in
+                          self._enclave_stage_classifications(packet)]
+                names.append(_FLOW_CLASS)
+                keys.append(tuple(names))
+        else:
+            key_of_list: Dict[int, Tuple[str, ...]] = {}
+            for packet, cls in entries:
+                key = key_of_list.get(id(cls))
+                if key is None:
+                    key = tuple([c.class_name for c in cls]
+                                + [_FLOW_CLASS])
+                    key_of_list[id(cls)] = key
+                keys.append(key)
+
+        hits = table0.lookup_batch(keys)
+
+        # Group packet indexes by matched rule, first-arrival order.
         results: List[Optional[ProcessResult]] = [None] * len(entries)
-        for msg_id in order:
-            for i in groups[msg_id]:
-                packet, classifications = entries[i]
-                results[i] = self.process_packet(
-                    packet, classifications, now_ns=now)
+        scalar_done = [False] * len(entries)
+        groups: Dict[int, List[int]] = {}
+        group_rule: Dict[int, MatchRule] = {}
+        order: List[int] = []
+        misses = 0
+        for i, hit in enumerate(hits):
+            if hit is None:
+                misses += 1
+                results[i] = ProcessResult(executed=[],
+                                           matched_classes=[])
+                continue
+            rule = hit[0]
+            bucket = groups.get(rule.rule_id)
+            if bucket is None:
+                groups[rule.rule_id] = bucket = []
+                group_rule[rule.rule_id] = rule
+                order.append(rule.rule_id)
+            bucket.append(i)
+        if misses:
+            self._m_lookups.inc(misses)
+
+        for rule_id in order:
+            self._run_group(group_rule[rule_id], groups[rule_id],
+                            entries, hits, results, scalar_done, now)
+
+        # Finalize in arrival order, mirroring the scalar epilogue.
+        # Counters are summed locally and added once — same final
+        # values, one bump per batch instead of per packet.
+        processed = 0
+        drops = 0
+        observe_ops = self._h_packet_ops.observe
+        for i, (packet, _cls) in enumerate(entries):
+            result = results[i]
+            if scalar_done[i] or result.error is not None:
+                continue
+            processed += 1
+            observe_ops(result.interpreter_ops)
+            if getattr(packet, "drop", 0):
+                result.drop = True
+                drops += 1
+            if getattr(packet, "to_controller", 0):
+                result.to_controller = True
+        self.packets_processed += processed
+        self._m_packets.inc(processed)
+        if drops:
+            self.packets_dropped += drops
+            self._m_drops.inc(drops)
         return results  # type: ignore[return-value]
+
+    def _batch_msg_id(self, packet, classifications) -> object:
+        """The message id the scalar path would derive for a packet."""
+        for cls in classifications:
+            msg_id = cls.message_id
+            if msg_id is not None:
+                return msg_id
+        return ("enclave", (getattr(packet, "src_ip", 0),
+                            getattr(packet, "src_port", 0),
+                            getattr(packet, "dst_ip", 0),
+                            getattr(packet, "dst_port", 0),
+                            getattr(packet, "proto", 0)))
+
+    def _run_group(self, rule: MatchRule, indexes: List[int],
+                   entries: List[Tuple], hits: List,
+                   results: List[Optional[ProcessResult]],
+                   scalar_done: List[bool], now: int) -> None:
+        """Execute one rule-homogeneous group of a batch."""
+        fn = self._functions[rule.function]
+
+        if rule.next_table is not None:
+            # Chained pipelines stay on the scalar per-packet loop:
+            # hops after the first are data-dependent and don't group.
+            for i in indexes:
+                packet, cls = entries[i]
+                try:
+                    results[i] = self._process_packet_impl(packet, cls,
+                                                           now)
+                    scalar_done[i] = True
+                except ConcurrencyViolation as violation:
+                    results[i] = ProcessResult(
+                        executed=[], matched_classes=[hits[i][1]],
+                        error=violation)
+            return
+
+        self._m_lookups.inc(len(indexes))
+        self._m_lookup_hits.inc(len(indexes))
+
+        store = fn.message_store
+        level = fn.concurrency
+        need_msg = (store is not None
+                    or level is not ConcurrencyLevel.PARALLEL)
+        msg_id_of: Dict[int, object] = {}
+        if need_msg:
+            for i in indexes:
+                packet, cls = entries[i]
+                msg_id_of[i] = self._batch_msg_id(packet, cls)
+
+        # Concurrency-guard acquisition once per group (PARALLEL and
+        # SERIAL guards ignore the key) or once per distinct message
+        # (PER_MESSAGE).  Equivalent to the scalar per-packet bracket
+        # on the single-threaded data path: the guard state after the
+        # group equals the state before it, and an externally held
+        # guard rejects exactly the packets the scalar path would.
+        guard = fn.guard
+        held: List[object] = []
+        group_error: Optional[ConcurrencyViolation] = None
+        error_of_msg: Dict[object, ConcurrencyViolation] = {}
+        if level is ConcurrencyLevel.PER_MESSAGE:
+            acquired = set()
+            for i in indexes:
+                msg_id = msg_id_of[i]
+                if msg_id in acquired or msg_id in error_of_msg:
+                    continue
+                try:
+                    guard.acquire(msg_id)
+                    held.append(msg_id)
+                    acquired.add(msg_id)
+                except ConcurrencyViolation as violation:
+                    error_of_msg[msg_id] = violation
+        else:
+            try:
+                guard.acquire(_BATCH_GUARD_KEY)
+                held.append(_BATCH_GUARD_KEY)
+            except ConcurrencyViolation as violation:
+                group_error = violation
+
+        # Interpreter dispatch context built once per group: the
+        # fast-dispatch BatchRunner when eligible, else the scalar
+        # execute (tree dispatch, native backend, or instrumented
+        # interpreters, which must keep their per-invocation spans).
+        runner = None
+        if fn.backend == "interpreter" and \
+                self.interpreter.dispatch == "fast" and \
+                self.interpreter.telemetry is None:
+            runner = fn._batch_runner
+            if runner is None:
+                from ..lang.fastdispatch import BatchRunner
+                runner = BatchRunner(self.interpreter, fn.program)
+                fn._batch_runner = runner
+
+        acct = self.accounting
+        acct_on = acct.enabled
+        fn_stats = fn.stats
+        fn_name = fn.name
+        readers = fn._field_readers
+        array_readers = fn._array_readers
+        fields = fn._field_buf
+        arrays = fn._array_buf
+        execute = runner.run if runner is not None else fn.execute
+        exec_bucket = ("interpreter" if fn.backend == "interpreter"
+                       else "native")
+        # The commit plan, unpacked once per group; per-packet this
+        # mirrors Enclave._commit exactly.
+        packet_writes = (fn._packet_writes
+                         if fn.commit_packet_writes else ())
+        message_writes = (fn._message_writes
+                          if store is not None else ())
+        global_writes = fn._global_writes
+        array_writes = fn._array_writes
+        global_store = fn.global_store
+        # FunctionStats accumulated locally, folded in once per group —
+        # same final values as the scalar per-packet updates.
+        invocations = 0
+        faults = 0
+        ops_total = 0
+        max_stack = fn_stats.max_stack_bytes
+        max_heap = fn_stats.max_heap_bytes
+        try:
+            for i in indexes:
+                packet, cls = entries[i]
+                matched = hits[i][1]
+                if group_error is not None:
+                    results[i] = ProcessResult(
+                        executed=[], matched_classes=[matched],
+                        error=group_error)
+                    continue
+                if error_of_msg:
+                    violation = error_of_msg.get(msg_id_of[i])
+                    if violation is not None:
+                        results[i] = ProcessResult(
+                            executed=[], matched_classes=[matched],
+                            error=violation)
+                        continue
+
+                t0 = acct.now() if acct_on else 0
+                msg_entry = None
+                msg_id = None
+                if need_msg:
+                    msg_id = msg_id_of[i]
+                if store is not None:
+                    metadata: Dict[str, object] = {}
+                    for c in cls:
+                        metadata.update(c.metadata)
+                    int_metadata = {
+                        k: v for k, v in metadata.items()
+                        if isinstance(v, int)
+                        and not isinstance(v, bool)}
+                    msg_entry, _ = store.lookup(msg_id, now,
+                                                int_metadata)
+                for j, read in enumerate(readers):
+                    fields[j] = read(packet, msg_entry)
+                for j, read_array in enumerate(array_readers):
+                    arrays[j] = read_array(packet)
+                if acct_on:
+                    acct.record("enclave", acct.now() - t0)
+                    t1 = acct.now()
+                try:
+                    exec_result = execute(fields, arrays)
+                except InterpreterFault:
+                    # Section 3.4.3: the faulty invocation terminates
+                    # alone; the packet is forwarded unmodified.
+                    faults += 1
+                    results[i] = ProcessResult(
+                        executed=[], matched_classes=[matched],
+                        faults=1)
+                    if acct_on:
+                        acct.record(exec_bucket, acct.now() - t1)
+                    continue
+                if acct_on:
+                    acct.record(exec_bucket, acct.now() - t1)
+                    t2 = acct.now()
+                out = exec_result.fields
+                for j, name in packet_writes:
+                    setattr(packet, name, out[j])
+                if message_writes:
+                    store.commit(msg_id,
+                                 {name: out[j]
+                                  for j, name in message_writes})
+                for j, name in global_writes:
+                    global_store.commit_scalar(name, out[j])
+                for j, name in array_writes:
+                    global_store.commit_array(name,
+                                              exec_result.arrays[j])
+                invocations += 1
+                stats = exec_result.stats
+                ops = stats.ops_executed
+                ops_total += ops
+                if stats.stack_bytes > max_stack:
+                    max_stack = stats.stack_bytes
+                if stats.heap_bytes > max_heap:
+                    max_heap = stats.heap_bytes
+                results[i] = ProcessResult(
+                    executed=[fn_name], matched_classes=[matched],
+                    interpreter_ops=ops)
+                if acct_on:
+                    acct.record("enclave", acct.now() - t2)
+        finally:
+            fn_stats.invocations += invocations
+            fn_stats.faults += faults
+            fn_stats.ops_executed += ops_total
+            fn_stats.max_stack_bytes = max_stack
+            fn_stats.max_heap_bytes = max_heap
+            if invocations:
+                self._m_invocations.inc(invocations)
+            if faults:
+                self._m_faults.inc(faults)
+            for key in held:
+                guard.release(key)
 
     def replace_function(self, name: str, source_fn,
                          backend: Optional[str] = None,

@@ -234,6 +234,62 @@ class Interpreter:
                                       args)
         return self.execute_tree(program, fields, arrays, args)
 
+    def execute_batch(self, program: Program,
+                      snapshots: Sequence[Tuple[Sequence[int],
+                                                Sequence[Sequence[int]]]],
+                      args: Sequence[int] = ()) -> List[object]:
+        """Run ``program`` over a batch of state snapshots.
+
+        The batched twin of :meth:`execute`: ``snapshots`` is a
+        sequence of ``(fields, arrays)`` pairs and the result is a
+        list, in order, of :class:`ExecResult` or — because batches
+        must isolate faults per packet, exactly as the enclave does —
+        the :class:`InterpreterFault` that invocation raised.
+
+        Each entry is bit-for-bit identical to calling :meth:`execute`
+        on the same interpreter with the same snapshot in the same
+        order (shared RNG state included); the per-call dispatch
+        overhead is paid once per batch, not once per snapshot.
+        """
+        if self.telemetry is not None:
+            return self._execute_batch_instrumented(program, snapshots,
+                                                    args)
+        return self._execute_batch_impl(program, snapshots, args)
+
+    def _execute_batch_impl(self, program: Program, snapshots,
+                            args: Sequence[int]) -> List[object]:
+        if self.dispatch == "fast":
+            from .fastdispatch import execute_fast_batch
+            return execute_fast_batch(self, program, snapshots, args)
+        out: List[object] = []
+        for fields, arrays in snapshots:
+            try:
+                out.append(self.execute_tree(program, fields, arrays,
+                                             args))
+            except InterpreterFault as fault:
+                out.append(fault)
+        return out
+
+    def _execute_batch_instrumented(self, program: Program, snapshots,
+                                    args: Sequence[int]) -> List[object]:
+        """One span per batch; boundary counters per invocation."""
+        with self.telemetry.tracer.span(
+                "interpreter.execute_batch", program=program.name,
+                dispatch=self.dispatch) as span:
+            results = self._execute_batch_impl(program, snapshots,
+                                               args)
+            faults = 0
+            for res in results:
+                self._m_invocations.inc()
+                if isinstance(res, InterpreterFault):
+                    faults += 1
+                    self._m_faults.inc()
+                else:
+                    self._h_ops.observe(res.stats.ops_executed)
+                    self._h_stack.observe(res.stats.max_operand_stack)
+            span.set(size=len(results), faults=faults)
+        return results
+
     def _execute_instrumented(self, program: Program,
                               fields: Sequence[int],
                               arrays: Sequence[Sequence[int]],

@@ -39,6 +39,7 @@ class HostStack:
                  stack_latency_ns: int = 300,
                  interpreter_ns_per_op: int = 12,
                  native_action_cost_ns: int = 150,
+                 batch_data_path: bool = False,
                  telemetry: Optional[Telemetry] = None) -> None:
         self.sim = sim
         self.host = host
@@ -63,6 +64,17 @@ class HostStack:
         self.interpreter_ns_per_op = interpreter_ns_per_op
         self.native_action_cost_ns = native_action_cost_ns
         self._last_emit_at = 0
+        # Batched data path (opt-in): packets sent or received in the
+        # same simulated tick are coalesced by a zero-delay flush
+        # event and run through Enclave.process_batch in one go.
+        # Per-packet delays, ordering, and enclave state are identical
+        # to the scalar path; only the per-packet setup cost is
+        # amortized.
+        self.batch_data_path = batch_data_path
+        self._tx_pending: List[Tuple[Packet, bool]] = []
+        self._tx_flush_scheduled = False
+        self._rx_pending: List[Packet] = []
+        self._rx_flush_scheduled = False
         self.rate_limiters = RateLimiterBank(sim, self._emit,
                                              telemetry=telemetry)
         self._connections: Dict[Tuple, TcpConnection] = {}
@@ -117,6 +129,12 @@ class HostStack:
     def send_packet(self, packet: Packet,
                     pure_ack: bool = False) -> None:
         """TX entry point used by the transport."""
+        if self.batch_data_path:
+            self._tx_pending.append((packet, pure_ack))
+            if not self._tx_flush_scheduled:
+                self._tx_flush_scheduled = True
+                self.sim.schedule(0, self._flush_tx)
+            return
         t0 = self.accounting.now()
         # The "API" step: metadata already attached by the transport's
         # message bookkeeping travels with the packet into the enclave.
@@ -128,25 +146,86 @@ class HostStack:
                 (self.process_pure_acks or not pure_ack):
             result = self.enclave.process_packet(
                 packet, classifications, now_ns=self.sim.now)
-            if result.to_controller:
-                self.packets_to_controller += 1
-                self._m_to_controller.inc()
-            if result.drop:
-                self.packets_dropped_by_enclave += 1
-                self._m_enclave_drops.inc()
+            if self._finish_tx_result(packet, result):
                 return
-            delay += self.enclave.per_packet_base_cost_ns
-            if result.interpreter_ops:
-                delay += result.interpreter_ops * \
-                    self.interpreter_ns_per_op
-            elif result.executed:
-                delay += len(result.executed) * \
-                    self.native_action_cost_ns
+            delay += self._enclave_delay_ns(result)
+        self._schedule_emit(packet, delay)
+
+    def _enclave_delay_ns(self, result) -> int:
+        delay = self.enclave.per_packet_base_cost_ns
+        if result.interpreter_ops:
+            delay += result.interpreter_ops * self.interpreter_ns_per_op
+        elif result.executed:
+            delay += len(result.executed) * self.native_action_cost_ns
+        return delay
+
+    def _finish_tx_result(self, packet: Packet, result) -> bool:
+        """Per-packet TX bookkeeping; True means the packet stops."""
+        if result.to_controller:
+            self.packets_to_controller += 1
+            self._m_to_controller.inc()
+        if result.drop:
+            self.packets_dropped_by_enclave += 1
+            self._m_enclave_drops.inc()
+            return True
+        return False
+
+    def _schedule_emit(self, packet: Packet, delay: int) -> None:
         # Per-packet processing delay; clamped monotonic so the stack
         # never reorders its own transmissions.
         emit_at = max(self.sim.now + delay, self._last_emit_at)
         self._last_emit_at = emit_at
         self.sim.at(emit_at, self.rate_limiters.submit, packet)
+
+    def _flush_tx(self) -> None:
+        """Zero-delay flush: process the tick's TX backlog as one
+        enclave batch, then hand same-release-time packets to the rate
+        limiters as one :meth:`RateLimiterBank.submit_batch`.
+
+        Per-packet results — writes, drops, delays, emission order —
+        match the scalar path exactly; a packet whose invocation hits
+        a :class:`ConcurrencyViolation` is forwarded unmodified, the
+        same isolation the enclave applies to interpreter faults.
+        """
+        self._tx_flush_scheduled = False
+        pending, self._tx_pending = self._tx_pending, []
+        if not pending:
+            return
+        now = self.sim.now
+        results: List[Optional[object]] = [None] * len(pending)
+        if self.enclave is not None:
+            batch = []
+            slots = []
+            for i, (packet, pure_ack) in enumerate(pending):
+                if self.process_pure_acks or not pure_ack:
+                    batch.append((packet, packet.classifications))
+                    slots.append(i)
+            for i, result in zip(slots, self.enclave.process_batch(
+                    batch, now_ns=now)):
+                results[i] = result
+        # emit_at is monotonic across the batch, so packets sharing a
+        # release time form runs — each run becomes one batched rate
+        # limiter submission.
+        run_at = -1
+        run: List[Packet] = []
+        for i, (packet, _pure_ack) in enumerate(pending):
+            result = results[i]
+            delay = self.stack_latency_ns
+            if result is not None:
+                if self._finish_tx_result(packet, result):
+                    continue
+                delay += self._enclave_delay_ns(result)
+            emit_at = max(now + delay, self._last_emit_at)
+            self._last_emit_at = emit_at
+            if emit_at != run_at:
+                if run:
+                    self.sim.at(run_at,
+                                self.rate_limiters.submit_batch, run)
+                run_at = emit_at
+                run = []
+            run.append(packet)
+        if run:
+            self.sim.at(run_at, self.rate_limiters.submit_batch, run)
 
     def _emit(self, packet: Packet) -> None:
         """Hand a packet to the NIC port selected by its path label."""
@@ -172,10 +251,35 @@ class HostStack:
         if packet.dst_ip != self.ip:
             return  # not ours; hosts do not forward
         if self.enclave is not None and self.process_rx:
+            if self.batch_data_path:
+                self._rx_pending.append(packet)
+                if not self._rx_flush_scheduled:
+                    self._rx_flush_scheduled = True
+                    self.sim.schedule(0, self._flush_rx)
+                return
             result = self.enclave.process_packet(
                 packet, packet.classifications, now_ns=self.sim.now)
             if result.drop:
                 return
+        self._deliver_rx(packet)
+
+    def _flush_rx(self) -> None:
+        """Zero-delay flush: run the tick's RX backlog through the
+        enclave as one batch, delivering survivors in arrival order."""
+        self._rx_flush_scheduled = False
+        pending, self._rx_pending = self._rx_pending, []
+        if not pending:
+            return
+        results = self.enclave.process_batch(
+            [(p, p.classifications) for p in pending],
+            now_ns=self.sim.now)
+        for packet, result in zip(pending, results):
+            if result.drop:
+                continue
+            self._deliver_rx(packet)
+
+    def _deliver_rx(self, packet: Packet) -> None:
+        """Demultiplex one received packet to its connection."""
         key = packet.reverse_five_tuple
         conn = self._connections.get(key)
         if conn is None:

@@ -12,7 +12,8 @@ of a packet is taken from ``packet.charge_bytes`` (action functions set
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import (Callable, Deque, Dict, List, Optional, Sequence,
+                    Tuple)
 
 from ..netsim.packet import Packet
 from ..netsim.simulator import SEC, Simulator
@@ -80,6 +81,38 @@ class RateLimitedQueue:
         self._g_backlog.set(self._queued_bytes)
         return True
 
+    def submit_batch(self, packets: Sequence[Packet]) -> List[bool]:
+        """Admit many same-tick packets with one token computation.
+
+        Equivalent to ``[self.submit(p) for p in packets]`` — same
+        admission decisions, same forwarded packets in the same order,
+        same token balance, same release time for whatever stays
+        queued (``tests/stack/test_ratelimiter_batch.py``) — but the
+        bucket refill, the backlog gauge update and the drain-timer
+        reschedule happen once per batch instead of once per packet.
+        Admission and draining still interleave per packet because a
+        drain can free queue space that changes a later packet's
+        overflow check.
+        """
+        self._refill()
+        out: List[bool] = []
+        for packet in packets:
+            charge = packet.charge_bytes
+            if self._queued_bytes + packet.size > self.max_queue_bytes:
+                self.dropped += 1
+                self._m_dropped.inc()
+                out.append(False)
+                continue
+            self._queue.append((packet, charge))
+            self._queued_bytes += packet.size
+            self.enqueued += 1
+            self._m_enqueued.inc()
+            self._drain_ready()
+            out.append(True)
+        self._g_backlog.set(self._queued_bytes)
+        self._reschedule()
+        return out
+
     @property
     def backlog_bytes(self) -> int:
         return self._queued_bytes
@@ -94,6 +127,12 @@ class RateLimitedQueue:
 
     def _drain(self) -> None:
         self._refill()
+        self._drain_ready()
+        self._g_backlog.set(self._queued_bytes)
+        self._reschedule()
+
+    def _drain_ready(self) -> None:
+        """Forward packets while the bucket covers the head charge."""
         while self._queue:
             packet, charge = self._queue[0]
             if charge > self.burst_bytes:
@@ -114,8 +153,6 @@ class RateLimitedQueue:
             self._m_forwarded.inc()
             self._h_charge.observe(charge)
             self.forward(packet)
-        self._g_backlog.set(self._queued_bytes)
-        self._reschedule()
 
     def _reschedule(self) -> None:
         if self._drain_event is not None:
@@ -168,3 +205,29 @@ class RateLimiterBank:
             self.forward(packet)
             return True
         return queue.submit(packet)
+
+    def submit_batch(self, packets: Sequence[Packet]) -> List[bool]:
+        """Route a same-tick batch, admitting each run of packets
+        bound for the same queue with one token computation.
+
+        Forwarding order is identical to submitting the packets one by
+        one: runs are split exactly where ``queue_id`` changes, so a
+        pass-through packet between two rate-limited ones still leaves
+        in between.
+        """
+        out: List[bool] = []
+        i, n = 0, len(packets)
+        while i < n:
+            qid = packets[i].queue_id
+            j = i + 1
+            while j < n and packets[j].queue_id == qid:
+                j += 1
+            queue = self._queues.get(qid)
+            if queue is None:
+                for k in range(i, j):
+                    self.forward(packets[k])
+                    out.append(True)
+            else:
+                out.extend(queue.submit_batch(packets[i:j]))
+            i = j
+        return out

@@ -1,0 +1,190 @@
+"""Edge cases for ``Enclave.process_batch``.
+
+The batch path must be packet-for-packet equivalent to scalar
+``process_packet`` — these tests pin the boundary conditions the
+differential harness is unlikely to hit by chance: empty batches,
+rule churn between batches (memo invalidation), a ConcurrencyViolation
+striking part of a batch (the rest keeps processing), and
+message-scoped state accumulated across a batch.
+"""
+
+import pytest
+
+from repro.core import (Classification, ConcurrencyViolation, Enclave)
+from repro.lang import AccessLevel, Field, Lifetime, schema
+
+pytestmark = pytest.mark.batch
+
+
+# Module-level actions so their source survives quotation.
+
+def set_priority_five(packet):
+    packet.priority = 5
+
+
+def tag_low(packet):
+    packet.priority = 1
+
+
+def count_message_bytes(packet, msg):
+    msg.total = msg.total + packet.size
+
+
+def bump_counter(packet, _global):
+    _global.counter = _global.counter + 1
+
+
+MSG_SCHEMA = schema("Msg", Lifetime.MESSAGE, [
+    Field("total", AccessLevel.READ_WRITE),
+])
+COUNTER_SCHEMA = schema("Cnt", Lifetime.GLOBAL, [
+    Field("counter", AccessLevel.READ_WRITE),
+])
+
+
+class FakePacket:
+    def __init__(self, **kw):
+        self.src_ip = kw.get("src_ip", 1)
+        self.dst_ip = kw.get("dst_ip", 2)
+        self.src_port = kw.get("src_port", 1000)
+        self.dst_port = kw.get("dst_port", 80)
+        self.proto = 6
+        self.size = kw.get("size", 1500)
+        self.priority = 0
+        self.path_id = 0
+        self.drop = 0
+        self.to_controller = 0
+        self.queue_id = 0
+        self.charge = 0
+        self.ecn = 0
+        self.tenant = 0
+
+
+def _msg_cls(key):
+    return [Classification("app.r1.x", {"msg_id": ("m", key)})]
+
+
+def test_empty_batch_returns_empty_list():
+    enclave = Enclave("batch.test")
+    enclave.install_function(set_priority_five)
+    enclave.install_rule("*", "set_priority_five")
+    assert enclave.process_batch([]) == []
+    assert enclave.packets_processed == 0
+
+
+def test_batch_spanning_rule_install_and_remove():
+    """Rule churn between batches must invalidate the lookup memo for
+    the batched pass exactly as for scalar lookups."""
+    enclave = Enclave("batch.test")
+    enclave.install_function(set_priority_five)
+    enclave.install_function(tag_low, name="tag_low")
+    rule = enclave.install_rule("*", "set_priority_five")
+
+    batch = [(FakePacket(), ()) for _ in range(4)]
+    first = enclave.process_batch(batch)
+    assert all(r.executed == ["set_priority_five"] for r in first)
+    assert all(p.priority == 5 for p, _ in batch)
+
+    enclave.remove_rule(rule)
+    missed = enclave.process_batch([(FakePacket(), ())
+                                    for _ in range(3)])
+    assert all(r.executed == [] for r in missed)
+    assert all(r.matched_classes == [] for r in missed)
+
+    enclave.install_rule("*", "tag_low")
+    batch2 = [(FakePacket(), ()) for _ in range(4)]
+    second = enclave.process_batch(batch2)
+    assert all(r.executed == ["tag_low"] for r in second)
+    assert all(p.priority == 1 for p, _ in batch2)
+    # Misses still count as processed packets (scalar parity).
+    assert enclave.packets_processed == 11
+
+
+def test_concurrency_violation_mid_batch_isolated():
+    """An externally held PER_MESSAGE guard errors only that
+    message's packets; the remainder of the batch still processes."""
+    enclave = Enclave("batch.test")
+    fn = enclave.install_function(count_message_bytes,
+                                  message_schema=MSG_SCHEMA)
+    enclave.install_rule("*", "count_message_bytes")
+
+    fn.guard.acquire(("m", 0))   # simulate an in-flight invocation
+    try:
+        batch = [(FakePacket(size=100 + i), _msg_cls(i % 2))
+                 for i in range(6)]
+        results = enclave.process_batch(batch, now_ns=7)
+    finally:
+        fn.guard.release(("m", 0))
+
+    blocked = [r for i, r in enumerate(results) if i % 2 == 0]
+    passed = [r for i, r in enumerate(results) if i % 2 == 1]
+    assert all(isinstance(r.error, ConcurrencyViolation)
+               for r in blocked)
+    assert all(r.executed == [] for r in blocked)
+    assert all(r.error is None and
+               r.executed == ["count_message_bytes"] for r in passed)
+    # Errored packets are not counted as processed (the scalar path
+    # raises before its bookkeeping).
+    assert enclave.packets_processed == 3
+    # Only message ("m", 1) accumulated state: sizes 101 + 103 + 105.
+    entries = fn.message_store._entries
+    assert list(entries) == [("m", 1)]
+    assert entries[("m", 1)].values["total"] == 101 + 103 + 105
+    # Scalar path agrees: it raises for the held message.
+    fn.guard.acquire(("m", 0))
+    try:
+        with pytest.raises(ConcurrencyViolation):
+            enclave.process_packet(FakePacket(), _msg_cls(0),
+                                   now_ns=8)
+    finally:
+        fn.guard.release(("m", 0))
+
+
+def test_serial_violation_blocks_whole_batch_then_recovers():
+    enclave = Enclave("batch.test")
+    fn = enclave.install_function(bump_counter,
+                                  global_schema=COUNTER_SCHEMA)
+    enclave.install_rule("*", "bump_counter")
+
+    fn.guard.acquire("external")
+    try:
+        results = enclave.process_batch([(FakePacket(), ())
+                                         for _ in range(3)])
+    finally:
+        fn.guard.release("external")
+    assert all(isinstance(r.error, ConcurrencyViolation)
+               for r in results)
+    assert enclave.packets_processed == 0
+    assert enclave.query_global("bump_counter")["counter"] == 0
+
+    ok = enclave.process_batch([(FakePacket(), ()) for _ in range(3)])
+    assert all(r.error is None for r in ok)
+    assert enclave.query_global("bump_counter")["counter"] == 3
+    assert enclave.packets_processed == 3
+
+
+def test_message_scoped_state_accumulates_across_batch():
+    """One batch mixing two messages leaves the same message state as
+    the equivalent scalar sequence."""
+    sizes = [100, 200, 300, 400, 500]
+
+    def run(use_batch):
+        enclave = Enclave("batch.test")
+        fn = enclave.install_function(count_message_bytes,
+                                      message_schema=MSG_SCHEMA)
+        enclave.install_rule("*", "count_message_bytes")
+        pairs = [(FakePacket(size=s), _msg_cls(i % 2))
+                 for i, s in enumerate(sizes)]
+        if use_batch:
+            enclave.process_batch(pairs, now_ns=3)
+        else:
+            for p, cls in pairs:
+                enclave.process_packet(p, cls, now_ns=3)
+        return {k: (e.values["total"], e.packets)
+                for k, e in fn.message_store._entries.items()}
+
+    scalar_state = run(use_batch=False)
+    batch_state = run(use_batch=True)
+    assert batch_state == scalar_state
+    assert batch_state[("m", 0)] == (100 + 300 + 500, 3)
+    assert batch_state[("m", 1)] == (200 + 400, 2)

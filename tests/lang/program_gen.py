@@ -218,6 +218,49 @@ def run_interp(program, fvec, avec, dispatch, seed=3,
              r.stats.max_call_depth, r.stats.heap_words))
 
 
+def _summary(res):
+    """The comparable tuple for one ExecResult-or-fault batch entry."""
+    if isinstance(res, InterpreterFault):
+        return ("fault", type(res).__name__, res.reason)
+    return ("ok", res.value, res.fields, res.arrays,
+            (res.stats.ops_executed, res.stats.max_operand_stack,
+             res.stats.max_call_depth, res.stats.heap_words))
+
+
+def run_interp_batch(program, snapshots, dispatch, seed=3,
+                     op_budget=OP_BUDGET, **limits):
+    """One ``Interpreter.execute_batch`` run, one summary per snapshot.
+
+    ``snapshots`` is a list of ``(fvec, avec)`` pairs; the summaries
+    use the same shape as :func:`run_interp` so batch entries compare
+    directly against scalar runs.
+    """
+    interp = Interpreter(dispatch=dispatch, rng=random.Random(seed),
+                         op_budget=op_budget, **limits)
+    results = interp.execute_batch(
+        program, [(list(f), [list(a) for a in avec])
+                  for f, avec in snapshots])
+    return [_summary(r) for r in results]
+
+
+def run_interp_seq(program, snapshots, dispatch, seed=3,
+                   op_budget=OP_BUDGET, **limits):
+    """The scalar reference for :func:`run_interp_batch`: the same
+    snapshots through ``execute`` on one shared interpreter (so RNG
+    state threads across invocations exactly as in a batch), faults
+    isolated per invocation."""
+    interp = Interpreter(dispatch=dispatch, rng=random.Random(seed),
+                         op_budget=op_budget, **limits)
+    out = []
+    for fvec, avec in snapshots:
+        try:
+            out.append(_summary(interp.execute(
+                program, list(fvec), [list(a) for a in avec])))
+        except InterpreterFault as fault:
+            out.append(_summary(fault))
+    return out
+
+
 def run_native(prog_ast, program, fvec, avec, seed=3):
     """One native-backend run; summarised without stats.
 
@@ -233,13 +276,22 @@ def run_native(prog_ast, program, fvec, avec, seed=3):
     return ("ok", r.value, r.fields, r.arrays)
 
 
+#: Copies of each snapshot run through ``execute_batch`` by
+#: check_parity — >1 so the batch threads RNG/dispatch state across
+#: invocations exactly as back-to-back scalar calls do.
+BATCH_COPIES = 3
+
+
 def check_parity(prog_ast, program, fields, arrays, seed=3,
                  native=True):
-    """Run all backends on one input; return an error string or None.
+    """Run all four backends on one input; return an error or None.
 
     tree vs fast must agree on everything — value, fields, arrays,
     stats, fault class and fault reason.  native must agree on the
-    fault/ok outcome and, when ok, on (value, fields, arrays).
+    fault/ok outcome and, when ok, on (value, fields, arrays).  Batch
+    execution (the fourth backend) must agree entry-for-entry with
+    back-to-back scalar fast-dispatch calls on a shared interpreter —
+    including ``ExecStats`` and fault identity.
     """
     fvec, avec = vectors(program, fields, arrays)
     tree = run_interp(program, fvec, avec, "tree", seed=seed)
@@ -247,6 +299,17 @@ def check_parity(prog_ast, program, fields, arrays, seed=3,
     if tree != fast:
         return (f"tree/fast divergence on fields={fields!r} "
                 f"arrays={arrays!r}:\n  tree={tree!r}\n  fast={fast!r}")
+    snapshots = [(fvec, avec)] * BATCH_COPIES
+    batch = run_interp_batch(program, snapshots, "fast", seed=seed)
+    scalar = run_interp_seq(program, snapshots, "fast", seed=seed)
+    if batch != scalar:
+        return (f"batch/scalar divergence on fields={fields!r} "
+                f"arrays={arrays!r}:\n  batch={batch!r}\n"
+                f"  scalar={scalar!r}")
+    if batch[0] != fast:
+        return (f"batch first entry differs from single scalar run "
+                f"on fields={fields!r} arrays={arrays!r}:\n"
+                f"  batch[0]={batch[0]!r}\n  fast={fast!r}")
     if native:
         nat = run_native(prog_ast, program, fvec, avec, seed=seed)
         if nat[0] != tree[0]:

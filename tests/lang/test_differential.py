@@ -1,4 +1,4 @@
-"""Three-backend differential harness: tree walk vs fast dispatch vs native.
+"""Four-backend differential harness: tree, fast, native, and batch.
 
 This is the correctness guard for the fast-dispatch interpreter and the
 enclave hot path: every DSL program in the repo (the §5 functions
@@ -8,18 +8,28 @@ through
 * the original decode-per-op tree walk  (``Interpreter(dispatch="tree")``),
 * the closure-threaded fast dispatch    (``Interpreter(dispatch="fast")``),
 * the native compiled backend           (``repro.lang.native``),
+* batched execution                     (``Interpreter.execute_batch``),
 
 on randomized-but-seeded inputs.  tree and fast must agree bit-for-bit
 on ``(value, fields, arrays)``, on ``ExecStats``, and on the fault
 class *and reason*; native must agree on the fault/ok outcome and the
 result triple (its fault wording legitimately differs — see
-``program_gen.run_native``).
+``program_gen.run_native``).  Batch execution must agree
+entry-for-entry with back-to-back scalar calls on a shared
+interpreter, including stats and fault identity — batching is an
+optimization, never a semantic.
+
+``TestEnclaveBatchDifferential`` lifts the same property to the whole
+enclave data path: ``Enclave.process_batch`` over the fuzz corpus must
+leave identical per-packet results, packet writes, function stats, and
+message/global state as sequential ``process_packet`` calls.
 
 Any fuzz failure is minimized (``program_gen.minimize``) and persisted
 into ``tests/lang/corpus/``; the corpus is replayed here in CI so past
 failures stay fixed.
 
-Run just this harness with ``pytest -m differential``.
+Run just this harness with ``pytest -m differential``; the
+enclave-level batch slice alone with ``pytest -m batch``.
 """
 
 import glob
@@ -29,11 +39,14 @@ import zlib
 
 import pytest
 
+from repro.core.enclave import Enclave
+from repro.core.stage import Classification
 from repro.lang import DEFAULT_PACKET_SCHEMA
 from repro.lang.compiler import compile_action, compile_ast
 from repro.functions.library import table1
 
 import program_gen as pg
+from conftest import GLB_SCHEMA, MSG_SCHEMA
 
 pytestmark = pytest.mark.differential
 
@@ -113,6 +126,114 @@ class TestFuzzedPrograms:
             if outcomes == {"ok", "fault"}:
                 return
         assert outcomes == {"ok", "fault"}
+
+
+class _DiffPacket:
+    """A deterministic packet exposing the default schema's fields."""
+
+    def __init__(self, rng, i):
+        self.size = rng.randint(0, 4000)
+        self.priority = rng.randint(0, 7)
+        self.queue_id = rng.randint(0, 3)
+        self.src_ip = 1
+        self.src_port = 1000 + (i % 4)
+        self.dst_ip = 2
+        self.dst_port = 80
+        self.proto = 6
+
+
+def _batch_enclave_for(source, seed):
+    enclave = Enclave("diff", rng=random.Random(seed))
+    enclave.install_function(source, name="f",
+                             message_schema=MSG_SCHEMA,
+                             global_schema=GLB_SCHEMA)
+    enclave.set_global_array("f", "weights", list(range(1, 9)))
+    enclave.set_global_array("f", "scratch", [0] * 8)
+    enclave.install_rule("*", "f")
+    return enclave
+
+
+@pytest.mark.batch
+class TestEnclaveBatchDifferential:
+    """``process_batch`` == sequential ``process_packet`` over the
+    fuzz corpus: per-packet results, packet writes, function stats,
+    and the message/global state left behind."""
+
+    N_PACKETS = 12
+
+    def _packets(self, seed):
+        rng = random.Random(seed * 7 + 1)
+        return [_DiffPacket(rng, i) for i in range(self.N_PACKETS)]
+
+    def _classifications(self, i):
+        if i % 3 == 2:
+            return ()   # flow-granularity fallback path
+        return [Classification(class_name=f"app.r1.c{i % 2}",
+                               metadata={"msg_id": ("app", i % 2)})]
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_batch_equals_scalar(self, seed):
+        source = pg.generate_program(seed)
+        cls_list = [self._classifications(i)
+                    for i in range(self.N_PACKETS)]
+
+        scalar = _batch_enclave_for(source, seed)
+        pkts_s = self._packets(seed)
+        res_s = [scalar.process_packet(p, cls_list[i], now_ns=5)
+                 for i, p in enumerate(pkts_s)]
+
+        batch = _batch_enclave_for(source, seed)
+        pkts_b = self._packets(seed)
+        res_b = batch.process_batch(
+            [(p, cls_list[i]) for i, p in enumerate(pkts_b)],
+            now_ns=5)
+
+        assert res_b == res_s
+        for ps, pb in zip(pkts_s, pkts_b):
+            assert pb.__dict__ == ps.__dict__
+        fn_s = scalar.function("f")
+        fn_b = batch.function("f")
+        assert fn_b.stats == fn_s.stats
+        assert fn_b.global_store.snapshot() == \
+            fn_s.global_store.snapshot()
+        store_s = fn_s.message_store
+        store_b = fn_b.message_store
+        assert set(store_b._entries) == set(store_s._entries)
+        for key, entry_s in store_s._entries.items():
+            entry_b = store_b._entries[key]
+            assert (entry_b.values, entry_b.packets,
+                    entry_b.created_at, entry_b.last_used_at) == \
+                (entry_s.values, entry_s.packets,
+                 entry_s.created_at, entry_s.last_used_at)
+        assert batch.packets_processed == scalar.packets_processed
+        assert batch.packets_dropped == scalar.packets_dropped
+
+    def test_batch_matches_scalar_on_corpus_reproducers(self):
+        """Past tree/fast divergences are exactly the programs most
+        likely to trip the batch runner too — replay them through the
+        enclave pairing as well."""
+        paths = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.py")))
+        assert paths, "corpus should not be empty"
+        for path in paths:
+            with open(path) as fh:
+                source = fh.read()
+            seed = _stable_seed(os.path.basename(path)) % 1000
+            cls_list = [self._classifications(i)
+                        for i in range(self.N_PACKETS)]
+            scalar = _batch_enclave_for(source, seed)
+            pkts_s = self._packets(seed)
+            res_s = [scalar.process_packet(p, cls_list[i], now_ns=5)
+                     for i, p in enumerate(pkts_s)]
+            batch = _batch_enclave_for(source, seed)
+            pkts_b = self._packets(seed)
+            res_b = batch.process_batch(
+                [(p, cls_list[i]) for i, p in enumerate(pkts_b)],
+                now_ns=5)
+            assert res_b == res_s, path
+            for ps, pb in zip(pkts_s, pkts_b):
+                assert pb.__dict__ == ps.__dict__, path
+            assert batch.function("f").stats == \
+                scalar.function("f").stats, path
 
 
 def _persist_failure(source, fields, arrays, seed):
