@@ -36,7 +36,8 @@ def _cmd_table1(args) -> int:
 def _cmd_fig9(args) -> int:
     from .experiments import fig9
     results = fig9.run_all(seed=args.seed,
-                           duration_ms=args.duration_ms)
+                           duration_ms=args.duration_ms,
+                           shards=args.shards)
     print(fig9.format_results(results))
     return 0
 
@@ -86,9 +87,14 @@ def _cmd_bench_smoke(args) -> int:
     from .experiments import micro
 
     if args.baseline is None:
-        args.baseline = ("benchmarks/interp_batch_baseline.json"
-                         if args.batch
-                         else "benchmarks/interp_baseline.json")
+        if args.scale:
+            args.baseline = "benchmarks/sim_scale_baseline.json"
+        elif args.batch:
+            args.baseline = "benchmarks/interp_batch_baseline.json"
+        else:
+            args.baseline = "benchmarks/interp_baseline.json"
+    if args.scale:
+        return _bench_smoke_scale(args)
     if args.batch:
         return _bench_smoke_batch(args)
 
@@ -203,6 +209,95 @@ def _bench_smoke_batch(args) -> int:
     if status == 0:
         print(f"bench-smoke --batch OK (>= {args.min_speedup}x over "
               f"scalar; within {args.threshold}x of {args.baseline})")
+    return status
+
+
+def _bench_smoke_scale(args) -> int:
+    """Sharded-simulator scale gate (the fat-tree benchmark).
+
+    Three checks: the per-host receive digests must agree between the
+    single-heap and sharded backends (hard equivalence, any scale);
+    sharded-sequential events/second must stay within ``--threshold``x
+    of the checked-in baseline; and — when this machine has enough
+    cores to make parallelism meaningful — the multiprocessing backend
+    must reach ``--min-speedup``x the single-heap event rate.
+    """
+    import json
+    import os
+
+    from .experiments import scale
+
+    cores = os.cpu_count() or 1
+    run_mp = args.force_mp or cores >= 4
+    result = scale.run_scale(k=args.scale_k,
+                             n_shards=args.scale_shards,
+                             packets_per_host=args.scale_packets,
+                             seed=args.seed, run_mp=run_mp)
+    print(scale.format_scale(result))
+
+    status = 0
+    if not result.digests_match:
+        print("FAIL scale: sharded receive digests diverge from the "
+              "single heap")
+        status = 1
+    if result.mp_digests_match is False:
+        print("FAIL scale: multiprocessing receive digests diverge "
+              "from the sequential sharded run")
+        status = 1
+
+    if args.update_baseline:
+        if status:
+            return status
+        baseline = {"fat_tree": {
+            "k": result.k, "n_shards": result.n_shards,
+            "packets_per_host": args.scale_packets,
+            "events_sharded": result.events_sharded,
+            "events_per_sec_sharded": round(result.eps_sharded, 1)}}
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote baseline {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with "
+              f"--update-baseline to create one")
+        return 1
+    with open(args.baseline) as handle:
+        ref = json.load(handle)["fat_tree"]
+    if (result.k, result.n_shards) != (ref["k"], ref["n_shards"]) or \
+            args.scale_packets != ref["packets_per_host"]:
+        print(f"FAIL scale: config (k={result.k}, "
+              f"shards={result.n_shards}, "
+              f"packets={args.scale_packets}) does not match baseline "
+              f"(re-baseline if intended)")
+        status = 1
+    elif result.events_sharded != ref["events_sharded"]:
+        print(f"FAIL scale: event count drifted "
+              f"{ref['events_sharded']} -> {result.events_sharded} "
+              f"(simulation behavior changed; re-baseline if intended)")
+        status = 1
+    else:
+        floor = ref["events_per_sec_sharded"] / args.threshold
+        if result.eps_sharded < floor:
+            print(f"FAIL scale: sharded {result.eps_sharded:.0f} ev/s "
+                  f"is <1/{args.threshold}x the baseline "
+                  f"{ref['events_per_sec_sharded']:.0f} ev/s")
+            status = 1
+
+    if run_mp:
+        speedup = result.eps_mp / max(result.eps_single, 1e-9)
+        if speedup < args.min_speedup:
+            print(f"FAIL scale: mp speedup {speedup:.2f}x < required "
+                  f"{args.min_speedup}x over the single heap")
+            status = 1
+    else:
+        print(f"note: {cores} core(s) < 4 — multiprocessing speedup "
+              f"check skipped (use --force-mp to run it anyway)")
+
+    if status == 0:
+        print(f"bench-smoke --scale OK (digests match; within "
+              f"{args.threshold}x of {args.baseline})")
     return status
 
 
@@ -355,6 +450,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--duration-ms", type=int,
                            default=default,
                            help="simulated milliseconds per run")
+        if name == "fig9":
+            p.add_argument("--shards", type=int, default=0,
+                           help="run on the sharded simulator with "
+                                "this many host shards (0: single "
+                                "event heap)")
         if name == "micro":
             p.add_argument("--packets", type=int, default=300)
         if name == "table1":
@@ -381,8 +481,23 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--packets", type=int, default=4096,
                            help="packets per timed run (--batch)")
             p.add_argument("--min-speedup", type=float, default=2.0,
-                           help="required batch-over-scalar speedup "
-                                "(--batch)")
+                           help="required batch-over-scalar (--batch) "
+                                "or mp-over-single-heap (--scale) "
+                                "speedup")
+            p.add_argument("--scale", action="store_true",
+                           help="gate the sharded simulator on the "
+                                "fat-tree scale benchmark instead")
+            p.add_argument("--scale-k", type=int, default=8,
+                           help="fat-tree arity (--scale; k=8 gives "
+                                "128 hosts)")
+            p.add_argument("--scale-shards", type=int, default=4,
+                           help="host-group shards (--scale; the "
+                                "coordinator shard is extra)")
+            p.add_argument("--scale-packets", type=int, default=40,
+                           help="packets per host (--scale)")
+            p.add_argument("--force-mp", action="store_true",
+                           help="run the multiprocessing speedup "
+                                "check even on <4 cores (--scale)")
         if name in ("control-demo", "telemetry-report"):
             default_ms = 400 if name == "control-demo" else 100
             p.add_argument("--loss", type=float, default=0.10,

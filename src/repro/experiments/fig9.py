@@ -57,6 +57,7 @@ class Fig9Result:
     n_mid: int
     requests: int
     background_mbps: float
+    events: int = 0
 
     def row(self) -> str:
         return (f"{self.policy:<9} {self.variant:<7} "
@@ -73,29 +74,52 @@ def run_flow_scheduling(policy: str = "baseline",
                         load: float = 0.7,
                         link_bps: int = 10 * GBPS,
                         n_background: int = 2,
-                        warmup_ms: int = 10) -> Fig9Result:
-    """One Figure 9 configuration; returns FCT summaries."""
+                        warmup_ms: int = 10,
+                        shards: int = 0,
+                        telemetry=None) -> Fig9Result:
+    """One Figure 9 configuration; returns FCT summaries.
+
+    ``shards > 0`` runs the same scenario on the sharded simulator
+    (:mod:`repro.netsim.sharded`): hosts spread round-robin over that
+    many shards, the ToR on the coordinator.  Per-host components then
+    schedule on their own shard's heap (``host.sim``).  Results are
+    statistically comparable but not bit-identical to the single-heap
+    run — each shard draws from its own seeded RNG stream.
+    """
     if policy not in ("baseline", "pias", "sff"):
         raise ValueError(f"unknown policy {policy!r}")
     if variant not in ("native", "eden"):
         raise ValueError(f"unknown variant {variant!r}")
 
-    sim = Simulator(seed=seed)
     # h1 = requesting client (and bulk sink), h2 = worker,
     # h3.. = background bulk senders.
-    net = star(sim, 2 + n_background, host_rate_bps=link_bps)
+    if shards > 0:
+        from ..netsim.sharded import star_sharded
+        net = star_sharded(2 + n_background, shards,
+                           host_rate_bps=link_bps, seed=seed)
+    else:
+        net = star(Simulator(seed=seed), 2 + n_background,
+                   host_rate_bps=link_bps)
+    hosts = net.hosts
+    if telemetry is not None:
+        if shards > 0:
+            net.bind_telemetry(telemetry)
+        else:
+            net.sim.bind_telemetry(telemetry)
+        for host in hosts.values():
+            host.bind_telemetry(telemetry)
     controller = Controller()
 
     needs_enclave = not (policy == "baseline" and variant == "native")
     stacks: Dict[str, HostStack] = {}
     sender_hosts = ["h2"] + [f"h{i + 3}" for i in range(n_background)]
-    for name, host in net.hosts.items():
+    for name, host in hosts.items():
         enclave = None
         if needs_enclave and name in sender_hosts:
-            enclave = Enclave(f"{name}.enclave", clock=sim.clock,
-                              rng=sim.rng)
+            enclave = Enclave(f"{name}.enclave",
+                              clock=host.sim.clock, rng=host.sim.rng)
             controller.register_enclave(name, enclave)
-        stacks[name] = HostStack(sim, host, enclave=enclave,
+        stacks[name] = HostStack(host.sim, host, enclave=enclave,
                                  process_pure_acks=False)
 
     if needs_enclave:
@@ -127,23 +151,28 @@ def run_flow_scheduling(policy: str = "baseline",
         # me"); SFF additionally declares the flow size.
         return {"priority": 7, "msg_size": params["size"]}
 
-    RequestResponseServer(sim, stacks["h2"], SERVICE_PORT, registry,
-                          stage=stage, attrs_fn=response_attrs)
+    RequestResponseServer(hosts["h2"].sim, stacks["h2"],
+                          SERVICE_PORT, registry, stage=stage,
+                          attrs_fn=response_attrs)
     arrivals = load * link_bps / (8.0 * distribution.mean())
     client = RequestResponseClient(
-        sim, stacks["h1"], net.host_ip("h2"), SERVICE_PORT, registry,
-        tracker, distribution=distribution,
+        hosts["h1"].sim, stacks["h1"], net.host_ip("h2"),
+        SERVICE_PORT, registry, tracker, distribution=distribution,
         arrivals_per_sec=arrivals)
 
     SinkServer(stacks["h1"], SINK_PORT)
     bulk_senders: List[BulkSender] = []
     for i in range(n_background):
+        host = hosts[f"h{i + 3}"]
         bulk_senders.append(BulkSender(
-            sim, stacks[f"h{i + 3}"], net.host_ip("h1"), SINK_PORT,
-            stage=stage, low_priority=0))
+            host.sim, stacks[host.name], net.host_ip("h1"),
+            SINK_PORT, stage=stage, low_priority=0))
 
     client.start()
-    sim.run(until_ns=duration_ms * MS)
+    if shards > 0:
+        events = net.run(until_ns=duration_ms * MS)
+    else:
+        events = net.sim.run(until_ns=duration_ms * MS)
     client.stop()
 
     cutoff = warmup_ms * MS
@@ -162,19 +191,20 @@ def run_flow_scheduling(policy: str = "baseline",
         mid_avg_us=mean(mid), mid_p95_us=percentile(mid, 95),
         n_small=len(small), n_mid=len(mid),
         requests=client.responses_done,
-        background_mbps=background_mbps)
+        background_mbps=background_mbps,
+        events=events)
 
 
 def run_all(seed: int = 1, duration_ms: int = 150,
             policies: Tuple[str, ...] = ("baseline", "pias", "sff"),
-            variants: Tuple[str, ...] = ("native", "eden")
-            ) -> List[Fig9Result]:
+            variants: Tuple[str, ...] = ("native", "eden"),
+            shards: int = 0) -> List[Fig9Result]:
     results = []
     for policy in policies:
         for variant in variants:
             results.append(run_flow_scheduling(
                 policy=policy, variant=variant, seed=seed,
-                duration_ms=duration_ms))
+                duration_ms=duration_ms, shards=shards))
     return results
 
 

@@ -1,0 +1,234 @@
+"""Simulator scale benchmark: single heap vs sharded fat-tree.
+
+Drives a k-ary fat-tree with a seeded random many-to-many workload
+through the three execution backends (single heap, sharded-sequential,
+sharded-multiprocessing) and reports events/second plus a per-host
+receive digest that must agree across backends — the benchmark doubles
+as an end-to-end equivalence check at a scale the pytest harness does
+not reach.
+
+Everything here is module-level and plain-data so the multiprocessing
+backend can fork workers that rebuild only their own partition;
+:class:`ScaleScenario` is the picklable setup/collect pair
+:func:`repro.netsim.sharded.run_multiprocessing` expects.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netsim.packet import Packet
+from ..netsim.sharded import (ShardPlan, ShardedSimulator,
+                              run_multiprocessing)
+from ..netsim.simulator import MS, Simulator
+from ..netsim.topology import TopologySpec, fat_tree_spec
+
+#: One send: (time_ns, src_host, dst_ip, src_port, payload_len, prio).
+Send = Tuple[int, str, int, int, int, int]
+
+_PAYLOADS = (0, 200, 700, 1460)
+
+
+def make_scale_workload(spec: TopologySpec, seed: int,
+                        packets_per_host: int,
+                        horizon_ns: int) -> Tuple[Send, ...]:
+    """Seeded many-to-many sends with globally distinct start times.
+
+    Each host draws its transmit instants with ``rng.sample`` over a
+    disjoint per-host residue class, so no two transmissions anywhere
+    start at the same nanosecond — the one case where sharded and
+    single-heap tie-breaking can legitimately diverge (see
+    docs/SHARDING.md).
+    """
+    rng = random.Random(seed)
+    names = [h.name for h in spec.hosts]
+    ips = {h.name: h.ip for h in spec.hosts}
+    n = len(names)
+    sends: List[Send] = []
+    port = 10_000
+    for idx, src in enumerate(names):
+        slots = rng.sample(range(horizon_ns // n), packets_per_host)
+        for slot in sorted(slots):
+            dst = names[rng.randrange(n - 1)]
+            if dst == src:
+                dst = names[n - 1]
+            sends.append((slot * n + idx, src, ips[dst], port,
+                          rng.choice(_PAYLOADS), rng.randrange(8)))
+            port = 10_000 + (port - 9_999) % 50_000
+    sends.sort()
+    return tuple(sends)
+
+
+class ScaleSink:
+    """A minimal host 'stack': counts arrivals and folds
+    (time, flow, size, priority) into an order-dependent digest."""
+
+    def __init__(self, host) -> None:
+        self.count = 0
+        self.acc = 0
+        self._host = host
+        host.bind_stack(self)
+
+    def handle_rx(self, packet: Packet, from_port) -> None:
+        self.count += 1
+        self.acc = (self.acc * 1_000_003
+                    + self._host.sim.now * 31
+                    + packet.src_ip * 7
+                    + packet.src_port * 3
+                    + packet.size
+                    + packet.priority) & 0xFFFFFFFFFFFFFFFF
+
+
+def _send_one(host, dst_ip: int, src_port: int, payload_len: int,
+              priority: int) -> None:
+    packet = Packet(src_ip=host.ip, dst_ip=dst_ip, src_port=src_port,
+                    dst_port=9000, payload_len=payload_len,
+                    created_at=host.sim.now)
+    packet.priority = priority
+    host.ports[0].enqueue(packet)
+
+
+def _schedule_sends(hosts, sends: Tuple[Send, ...]) -> None:
+    for t, src, dst_ip, src_port, payload_len, priority in sends:
+        host = hosts.get(src)
+        if host is None:
+            continue  # owned by another shard
+        host.sim.at(t, _send_one, host, dst_ip, src_port,
+                    payload_len, priority)
+
+
+class ScaleScenario:
+    """setup/collect pair shared by all three backends."""
+
+    def __init__(self, sends: Tuple[Send, ...]) -> None:
+        self.sends = sends
+
+    def setup(self, partition) -> None:
+        partition.scale_sinks = {
+            name: ScaleSink(host)
+            for name, host in partition.hosts.items()}
+        _schedule_sends(partition.hosts, self.sends)
+
+    def collect(self, partition) -> Dict[str, Tuple[int, int]]:
+        return {name: (sink.count, sink.acc)
+                for name, sink in partition.scale_sinks.items()}
+
+
+@dataclass
+class ScaleResult:
+    k: int
+    n_hosts: int
+    n_shards: int              # host-group shards (coordinator extra)
+    packets: int
+    events_single: int = 0
+    events_sharded: int = 0
+    events_mp: int = 0
+    windows: int = 0
+    wall_single_s: float = 0.0
+    wall_sharded_s: float = 0.0
+    wall_mp_s: float = 0.0
+    digests_match: bool = False
+    mp_digests_match: Optional[bool] = None   # None: mp not run
+    rx_packets: int = 0
+
+    @property
+    def eps_single(self) -> float:
+        return self.events_single / max(self.wall_single_s, 1e-9)
+
+    @property
+    def eps_sharded(self) -> float:
+        return self.events_sharded / max(self.wall_sharded_s, 1e-9)
+
+    @property
+    def eps_mp(self) -> float:
+        return self.events_mp / max(self.wall_mp_s, 1e-9)
+
+
+def _merge(per_shard: Dict[int, Dict[str, Tuple[int, int]]]
+           ) -> Dict[str, Tuple[int, int]]:
+    merged: Dict[str, Tuple[int, int]] = {}
+    for shard_result in per_shard.values():
+        merged.update(shard_result)
+    return merged
+
+
+def run_scale(k: int = 8, n_shards: int = 4,
+              packets_per_host: int = 40,
+              horizon_ns: int = 2 * MS,
+              seed: int = 1,
+              run_mp: bool = False) -> ScaleResult:
+    """Run the same workload through single-heap and sharded backends
+    (and optionally multiprocessing) and time each."""
+    spec, group_of = fat_tree_spec(k=k, salt_seed=seed)
+    # Fold the k pods onto n_shards host shards; cores -> coordinator.
+    plan = ShardPlan.from_groups(group_of, n_shards)
+    sends = make_scale_workload(spec, seed, packets_per_host,
+                                horizon_ns)
+    result = ScaleResult(k=k, n_hosts=len(spec.hosts),
+                         n_shards=n_shards, packets=len(sends))
+    scenario = ScaleScenario(sends)
+
+    # Single heap.
+    sim = Simulator(seed=seed)
+    net = spec.build(sim)
+    sinks = {name: ScaleSink(host)
+             for name, host in net.hosts.items()}
+    _schedule_sends(net.hosts, sends)
+    t0 = time.perf_counter()
+    result.events_single = sim.run()
+    result.wall_single_s = time.perf_counter() - t0
+    single_rx = {name: (sink.count, sink.acc)
+                 for name, sink in sinks.items()}
+    result.rx_packets = sum(c for c, _ in single_rx.values())
+
+    # Sharded, sequential backend.
+    sharded = ShardedSimulator(spec, plan, seed=seed)
+    for partition in sharded.partitions:
+        scenario.setup(partition)
+    t0 = time.perf_counter()
+    result.events_sharded = sharded.run()
+    result.wall_sharded_s = time.perf_counter() - t0
+    result.windows = sharded.windows
+    sharded_rx = _merge({p.shard_id: scenario.collect(p)
+                         for p in sharded.partitions})
+    result.digests_match = sharded_rx == single_rx
+
+    # Sharded, multiprocessing backend (opt-in: fork + per-shard CPU).
+    if run_mp:
+        mp_result = run_multiprocessing(spec, plan, scenario,
+                                        seed=seed)
+        result.events_mp = mp_result.events_processed
+        result.wall_mp_s = mp_result.run_wall_s
+        result.mp_digests_match = (_merge(mp_result.results)
+                                   == sharded_rx)
+    return result
+
+
+def format_scale(result: ScaleResult) -> str:
+    lines = [
+        f"fat-tree k={result.k}: {result.n_hosts} hosts, "
+        f"{result.n_shards}+1 shards, {result.packets} packets "
+        f"({result.rx_packets} delivered)",
+        f"  single heap : {result.events_single:>8} events in "
+        f"{result.wall_single_s * 1e3:8.1f} ms "
+        f"({result.eps_single / 1e3:8.1f}k ev/s)",
+        f"  sharded seq : {result.events_sharded:>8} events in "
+        f"{result.wall_sharded_s * 1e3:8.1f} ms "
+        f"({result.eps_sharded / 1e3:8.1f}k ev/s, "
+        f"{result.windows} windows)",
+    ]
+    if result.mp_digests_match is not None:
+        lines.append(
+            f"  sharded mp  : {result.events_mp:>8} events in "
+            f"{result.wall_mp_s * 1e3:8.1f} ms "
+            f"({result.eps_mp / 1e3:8.1f}k ev/s, "
+            f"speedup x{result.eps_mp / max(result.eps_single, 1e-9):.2f}"
+            f" vs single)")
+    lines.append(
+        f"  digests     : sharded {'MATCH' if result.digests_match else 'MISMATCH'}"
+        + ("" if result.mp_digests_match is None else
+           f", mp {'MATCH' if result.mp_digests_match else 'MISMATCH'}"))
+    return "\n".join(lines)

@@ -9,10 +9,16 @@ from .routing import (as_graph, install_l3_routes, install_path_labels,
                       provision_labeled_paths, simple_paths)
 from .simulator import (Event, GBPS, KBPS, MBPS, MS, NS, SEC,
                         SimulationError, Simulator, US)
-from .switchdev import Device, Switch, flow_hash
-from .topology import (Network, PATH_FAST, PATH_SLOW, TopologyError,
-                       asymmetric_two_path, star)
+from .packet import reset_packet_ids
+from .switchdev import Device, Switch, flow_hash, stable_salt
+from .topology import (HostSpec, LinkSpec, Network, PATH_FAST,
+                       PATH_SLOW, SwitchSpec, TopologyError,
+                       TopologySpec, asymmetric_two_path,
+                       fat_tree_spec, star, star_spec)
+from .wire import packet_digest
 from .pcap import PcapWriter, PortTap, read_pcap
+from .sharded import (BoundaryPort, ShardPlan, ShardedSimulator,
+                      ShardingError, run_multiprocessing, star_sharded)
 from .wire import WireFormatError, decode as wire_decode, encode as wire_encode, ipv4_checksum
 from .tracing import (FlowRecord, FlowTracker, SeriesStats,
                       ThroughputMeter, mean, percentile)
@@ -29,5 +35,10 @@ __all__ = [
     "install_path_labels", "ip_of", "mean", "percentile",
     "provision_labeled_paths", "simple_paths", "star",
     "PcapWriter", "PortTap", "read_pcap",
+    "BoundaryPort", "ShardPlan", "ShardedSimulator", "ShardingError",
+    "run_multiprocessing", "star_sharded",
+    "HostSpec", "LinkSpec", "SwitchSpec", "TopologySpec",
+    "fat_tree_spec", "star_spec", "stable_salt", "reset_packet_ids",
+    "packet_digest",
     "WireFormatError", "wire_decode", "wire_encode", "ipv4_checksum",
 ]

@@ -32,6 +32,18 @@ FLAG_RST = 0x8
 _packet_ids = itertools.count(1)
 
 
+def reset_packet_ids() -> None:
+    """Restart the process-global packet-id counter at 1.
+
+    Packet ids only exist to make captures readable; they are the one
+    piece of packet state not derived from a run's seed.  Determinism
+    tests that digest on-the-wire bytes call this before each run so
+    two same-seed runs in one process produce identical frames.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count(1)
+
+
 class Packet:
     """One network packet.
 

@@ -1,0 +1,575 @@
+"""Sharded simulation: conservative-lookahead parallel event loops.
+
+One :class:`~repro.netsim.simulator.Simulator` heap serializes every
+host, link and switch, which caps fig9/fig10-style scenarios at tens
+of hosts.  This module partitions a topology into *shards* — groups of
+hosts plus their access links and any switch wholly inside a group —
+each with its own event heap and clock.  Switches on the cut (reached
+from more than one group, e.g. a fat-tree's core) belong to the
+coordinator shard (id 0).
+
+Synchronization is classic conservative lookahead: all shards run the
+same window ``[W, W + window_ns]`` and then hit a barrier.  A packet
+crossing the cut is *not* delivered directly; at transmission end the
+sending :class:`BoundaryPort` drops it into its shard's outbox stamped
+with its arrival time (``emit + prop_delay``).  Because the window
+never exceeds the minimum cross-shard propagation delay (the natural
+lookahead), every message produced in window *i* arrives strictly
+after the barrier, so scheduling it into the destination shard before
+window *i+1* can never violate causality.
+
+Determinism: at each barrier the collected messages are sorted by
+``(arrival_ns, tx_start_ns, src_shard, seq)`` before being scheduled,
+so results are reproducible regardless of drain interleaving, and the
+``tx_start_ns`` component makes cross-shard arrival ties resolve in
+the same order the single-heap simulator would have scheduled them
+(its tie-break is schedule order, i.e. transmission-start order).
+Residual ambiguity only remains when two transmissions *start* at the
+same nanosecond — see docs/SHARDING.md.
+
+Two backends share this machinery:
+
+* **sequential** (default): one process, shards stepped round-robin.
+  Bit-for-bit comparable against the single heap; this is what the
+  equivalence harness (`tests/netsim/test_shard_equivalence.py`) runs.
+* **multiprocessing** (:func:`run_multiprocessing`): one OS process
+  per shard (fork start method), mailbox batches pickled over pipes at
+  each barrier — true parallelism for scale runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .host import Host
+from .link import (DEFAULT_PROP_DELAY_NS, DEFAULT_QUEUE_CAPACITY, Port,
+                   duplex_connect)
+from .packet import Packet
+from .simulator import GBPS, MS, Simulator
+from .switchdev import Device, Switch
+from .topology import LinkSpec, TopologySpec, star_spec
+
+#: Shard id of the coordinator (owns every cut switch).
+COORDINATOR = 0
+
+
+class ShardingError(Exception):
+    """The shard plan or window is inconsistent with the topology."""
+
+
+class ShardSim(Simulator):
+    """A per-shard event heap; identical semantics, plus an id."""
+
+    def __init__(self, shard_id: int, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.shard_id = shard_id
+
+
+class RemoteStub:
+    """Stands in for a device owned by another shard.
+
+    It exists so a :class:`BoundaryPort` has a named peer for wiring
+    (``attach_port`` and ``port_to`` key on peer names); it must never
+    see a packet — cross-shard traffic goes through the mailbox.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def receive(self, packet, from_port) -> None:
+        raise ShardingError(
+            f"packet delivered directly to remote stub {self.name!r}; "
+            f"cross-shard traffic must go through the mailbox")
+
+    def __repr__(self) -> str:
+        return f"RemoteStub({self.name})"
+
+
+#: A mailbox message:
+#: (arrival_ns, tx_start_ns, src_shard, seq, src_name, dst_name, packet)
+Handoff = Tuple[int, int, int, int, str, str, Packet]
+
+
+class BoundaryPort(Port):
+    """A port whose peer lives in another shard.
+
+    Queueing and serialization happen normally on the local heap; at
+    transmission end the packet is stamped with its arrival time
+    (``now + prop_delay``) and handed to the shard outbox instead of
+    being delivered.  ``tx_start_ns`` rides along purely as the
+    deterministic tie-break (see module docstring).
+    """
+
+    def __init__(self, sim: Simulator, name: str, rate_bps: int,
+                 prop_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+                 queue_capacity_bytes: int = DEFAULT_QUEUE_CAPACITY,
+                 ecn_threshold_bytes: Optional[int] = None, *,
+                 handoff: Callable[[int, int, str, str, Packet], None],
+                 src_name: str, dst_name: str) -> None:
+        super().__init__(sim, name, rate_bps, prop_delay_ns,
+                         queue_capacity_bytes, ecn_threshold_bytes)
+        self._handoff = handoff
+        self._src_name = src_name
+        self._dst_name = dst_name
+
+    def _schedule_delivery(self, packet: Packet, tx_ns: int) -> None:
+        self.sim.schedule(tx_ns, self._emit, packet, self.sim.now)
+
+    def _emit(self, packet: Packet, tx_start_ns: int) -> None:
+        packet.hop_count += 1  # mirrors Port._deliver
+        self._handoff(self.sim.now + self.prop_delay_ns, tx_start_ns,
+                      self._src_name, self._dst_name, packet)
+
+
+@dataclass
+class ShardPlan:
+    """Assignment of every device to a shard.
+
+    Shard 0 is the coordinator; host groups map to shards ``1..n``.
+    ``owner`` must cover every device in the spec.
+    """
+
+    n_shards: int
+    owner: Dict[str, int]
+
+    @classmethod
+    def from_groups(cls, group_of: Dict[str, int],
+                    n_group_shards: int) -> "ShardPlan":
+        """Build a plan from a device->group map.
+
+        Groups (``>= 0``) are folded round-robin onto shards
+        ``1..n_group_shards``; devices in group ``-1`` (the cut) go to
+        the coordinator.
+        """
+        if n_group_shards < 1:
+            raise ShardingError("need at least one host-group shard")
+        groups = sorted({g for g in group_of.values() if g >= 0})
+        shard_of_group = {g: 1 + (i % n_group_shards)
+                          for i, g in enumerate(groups)}
+        owner = {name: (COORDINATOR if g < 0 else shard_of_group[g])
+                 for name, g in group_of.items()}
+        return cls(n_shards=n_group_shards + 1, owner=owner)
+
+    def validate(self, spec: TopologySpec) -> None:
+        missing = [n for n in spec.device_names() if n not in self.owner]
+        if missing:
+            raise ShardingError(
+                f"shard plan misses devices: {missing[:5]}")
+        bad = [n for n, s in self.owner.items()
+               if not 0 <= s < self.n_shards]
+        if bad:
+            raise ShardingError(f"shard id out of range for {bad[:5]}")
+
+    def lookahead_ns(self, spec: TopologySpec) -> Optional[int]:
+        """Minimum propagation delay across cut links — the natural
+        conservative window.  None when nothing crosses the cut."""
+        cut = [link.prop_delay_ns for link in spec.links
+               if self.owner[link.a] != self.owner[link.b]]
+        return min(cut) if cut else None
+
+
+class ShardPartition:
+    """One shard's slice of the topology: its own heap, its owned
+    devices, intra-shard links built whole, boundary ports for links
+    whose far end is remote, and an outbox of pending handoffs."""
+
+    def __init__(self, spec: TopologySpec, plan: ShardPlan,
+                 shard_id: int, seed: int = 0) -> None:
+        self.shard_id = shard_id
+        self.sim = ShardSim(shard_id,
+                            seed=(seed * 1_000_003 + shard_id)
+                            & 0xFFFFFFFF)
+        self.hosts: Dict[str, Host] = {}
+        self.switches: Dict[str, Switch] = {}
+        self.devices: Dict[str, Device] = {}
+        self.outbox: List[Handoff] = []
+        self._seq = itertools.count()
+        owner = plan.owner
+        for h in spec.hosts:
+            if owner[h.name] == shard_id:
+                host = Host(self.sim, h.name, h.ip)
+                self.hosts[h.name] = self.devices[h.name] = host
+        for s in spec.switches:
+            if owner[s.name] == shard_id:
+                switch = Switch(self.sim, s.name,
+                                ecmp_salt=s.ecmp_salt)
+                self.switches[s.name] = self.devices[s.name] = switch
+        for link in spec.links:
+            mine_a = owner[link.a] == shard_id
+            mine_b = owner[link.b] == shard_id
+            if mine_a and mine_b:
+                duplex_connect(
+                    self.sim, self.devices[link.a],
+                    self.devices[link.b], link.rate_bps,
+                    prop_delay_ns=link.prop_delay_ns,
+                    queue_capacity_bytes=link.queue_capacity_bytes,
+                    ecn_threshold_bytes=link.ecn_threshold_bytes)
+            elif mine_a:
+                self._attach_boundary(link, link.a, link.b)
+            elif mine_b:
+                self._attach_boundary(link, link.b, link.a)
+        for switch_name, table in spec.routes.items():
+            if owner.get(switch_name) == shard_id:
+                switch = self.switches[switch_name]
+                for dst_ip, next_hops in table.items():
+                    switch.install_route(dst_ip, list(next_hops))
+
+    def _attach_boundary(self, link: LinkSpec, local: str,
+                         remote: str) -> None:
+        port = BoundaryPort(
+            self.sim, f"{local}->{remote}", link.rate_bps,
+            link.prop_delay_ns, link.queue_capacity_bytes,
+            link.ecn_threshold_bytes, handoff=self._enqueue_handoff,
+            src_name=local, dst_name=remote)
+        stub = RemoteStub(remote)
+        port.connect(stub)
+        self.devices[local].attach_port(port, stub)
+
+    def _enqueue_handoff(self, arrival_ns: int, tx_start_ns: int,
+                         src_name: str, dst_name: str,
+                         packet: Packet) -> None:
+        self.outbox.append((arrival_ns, tx_start_ns, self.shard_id,
+                            next(self._seq), src_name, dst_name,
+                            packet))
+
+    def take_outbox(self) -> List[Handoff]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    def deliver(self, message: Handoff) -> None:
+        """Schedule one inbound handoff onto this shard's heap."""
+        arrival_ns, _, _, _, src_name, dst_name, packet = message
+        device = self.devices[dst_name]
+        # The reverse direction of the same duplex link, when present,
+        # stands in for the remote sending port (receivers that look
+        # at from_port only use it for identity/debugging).
+        from_port = device._port_by_peer.get(src_name)
+        self.sim.at(arrival_ns, device.receive, packet, from_port)
+
+
+def _sort_handoffs(messages: List[Handoff]) -> List[Handoff]:
+    messages.sort(key=lambda m: m[:4])
+    return messages
+
+
+class ShardedSimulator:
+    """Drop-in runner for a sharded topology (sequential backend).
+
+    Builds one :class:`ShardPartition` per shard and steps them
+    round-robin through conservative windows.  The merged ``hosts`` /
+    ``switches`` / ``device()`` views and ``host_ip`` mirror
+    :class:`~repro.netsim.topology.Network` closely enough that
+    experiment code can swap one in; each device schedules on its own
+    shard's heap via ``device.sim``.
+    """
+
+    def __init__(self, spec: TopologySpec, plan: ShardPlan,
+                 seed: int = 0,
+                 window_ns: Optional[int] = None) -> None:
+        plan.validate(spec)
+        self.spec = spec
+        self.plan = plan
+        self.seed = seed
+        lookahead = plan.lookahead_ns(spec)
+        if window_ns is None:
+            # No cut at all means shards are independent; any window
+            # works, so pick something coarse.
+            window_ns = lookahead if lookahead is not None else MS
+        if window_ns <= 0:
+            raise ShardingError("window must be positive")
+        if lookahead is not None and window_ns > lookahead:
+            raise ShardingError(
+                f"window {window_ns} ns exceeds the conservative "
+                f"lookahead {lookahead} ns (min cut-link propagation)")
+        self.window_ns = window_ns
+        self.partitions = [ShardPartition(spec, plan, sid, seed)
+                           for sid in range(plan.n_shards)]
+        self.now = 0
+        self.windows = 0
+        self.handoffs = 0
+        self._h_barrier = None
+        self._m_handoffs = None
+        self._g_windows = None
+
+    # -- Network-compatible views ---------------------------------------
+
+    @property
+    def hosts(self) -> Dict[str, Host]:
+        merged: Dict[str, Host] = {}
+        for part in self.partitions:
+            merged.update(part.hosts)
+        return merged
+
+    @property
+    def switches(self) -> Dict[str, Switch]:
+        merged: Dict[str, Switch] = {}
+        for part in self.partitions:
+            merged.update(part.switches)
+        return merged
+
+    def device(self, name: str) -> Device:
+        part = self.partitions[self.plan.owner[name]]
+        return part.devices[name]
+
+    def host_ip(self, name: str) -> int:
+        return self.spec.host_ip(name)
+
+    @property
+    def events_processed(self) -> int:
+        return sum(p.sim.events_processed for p in self.partitions)
+
+    @property
+    def pending(self) -> int:
+        return (sum(p.sim.pending for p in self.partitions) +
+                sum(len(p.outbox) for p in self.partitions))
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Per-shard ``sim_events_total``/``sim_now_ns`` series plus a
+        barrier-drain wall-time histogram and handoff counter."""
+        if telemetry is None or not telemetry.enabled:
+            return
+        for part in self.partitions:
+            part.sim.bind_telemetry(telemetry,
+                                    shard=str(part.shard_id))
+        registry = telemetry.registry
+        self._h_barrier = registry.histogram("shard_barrier_wait_ns")
+        self._m_handoffs = registry.counter("shard_handoffs_total")
+        self._g_windows = registry.gauge("shard_windows_total")
+
+    # -- the conservative window loop -----------------------------------
+
+    def _next_event_time(self) -> Optional[int]:
+        t_min: Optional[int] = None
+        for part in self.partitions:
+            t = part.sim.next_event_time()
+            if t is not None and (t_min is None or t < t_min):
+                t_min = t
+        return t_min
+
+    def _drain_mailboxes(self) -> int:
+        messages: List[Handoff] = []
+        for part in self.partitions:
+            if part.outbox:
+                messages.extend(part.take_outbox())
+        if not messages:
+            return 0
+        _sort_handoffs(messages)
+        owner = self.plan.owner
+        for message in messages:
+            self.partitions[owner[message[5]]].deliver(message)
+        return len(messages)
+
+    def run(self, until_ns: Optional[int] = None) -> int:
+        """Run every shard to quiescence (or ``until_ns``), windowed
+        at the conservative lookahead.  Returns events processed."""
+        processed = 0
+        while True:
+            t_min = self._next_event_time()
+            if t_min is None:
+                break
+            if until_ns is not None and t_min > until_ns:
+                break
+            # Jump idle gaps: nothing can happen before t_min, and no
+            # emission before t_min can arrive before t_min + window.
+            w_end = max(self.now, t_min) + self.window_ns
+            if until_ns is not None and w_end > until_ns:
+                w_end = until_ns
+            for part in self.partitions:
+                processed += part.sim.run(until_ns=w_end)
+            self.now = w_end
+            barrier_t0 = time.perf_counter_ns()
+            moved = self._drain_mailboxes()
+            if self._h_barrier is not None:
+                self._h_barrier.observe(
+                    time.perf_counter_ns() - barrier_t0)
+                if moved:
+                    self._m_handoffs.inc(moved)
+            self.handoffs += moved
+            self.windows += 1
+            if until_ns is not None and w_end >= until_ns:
+                break
+        if until_ns is not None:
+            for part in self.partitions:
+                if part.sim.now < until_ns:
+                    part.sim.run(until_ns=until_ns)
+            if self.now < until_ns:
+                self.now = until_ns
+        elif self.partitions:
+            self.now = max(p.sim.now for p in self.partitions)
+        if self._g_windows is not None:
+            self._g_windows.set(self.windows)
+        return processed
+
+
+def star_sharded(n_hosts: int, n_shards: int,
+                 host_rate_bps: int = 10 * GBPS,
+                 seed: int = 0,
+                 queue_capacity_bytes: int = 300_000,
+                 prop_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+                 host_rates: Optional[Dict[str, int]] = None,
+                 window_ns: Optional[int] = None) -> ShardedSimulator:
+    """A sharded star: hosts round-robin over ``n_shards`` host
+    shards, the ToR on the coordinator (it sits on every cut)."""
+    spec = star_spec(n_hosts, host_rate_bps=host_rate_bps,
+                     queue_capacity_bytes=queue_capacity_bytes,
+                     prop_delay_ns=prop_delay_ns,
+                     host_rates=host_rates, salt_seed=seed)
+    group_of = {f"h{i}": (i - 1) % n_shards
+                for i in range(1, n_hosts + 1)}
+    group_of["tor"] = -1
+    plan = ShardPlan.from_groups(group_of, n_shards)
+    return ShardedSimulator(spec, plan, seed=seed, window_ns=window_ns)
+
+
+# ---------------------------------------------------------------------------
+# Multiprocessing backend
+# ---------------------------------------------------------------------------
+#
+# One OS process per shard.  The parent runs the same window loop as
+# the sequential backend but ships mailbox batches over pipes; workers
+# build their partition locally (fork inherits the spec/plan/scenario
+# without pickling), so only Handoff batches and final results cross
+# process boundaries.  Message ordering is identical to the
+# sequential backend: the parent sorts each barrier's batch with the
+# same (arrival, tx_start, src_shard, seq) key before routing.
+
+
+def _mp_worker(conn, spec: TopologySpec, plan: ShardPlan,
+               shard_id: int, seed: int, scenario) -> None:
+    partition = ShardPartition(spec, plan, shard_id, seed)
+    scenario.setup(partition)
+    conn.send(("ready", partition.sim.next_event_time()))
+    while True:
+        message = conn.recv()
+        op = message[0]
+        if op == "step":
+            _, w_end, inbound = message
+            for handoff in inbound:
+                partition.deliver(handoff)
+            processed = partition.sim.run(until_ns=w_end)
+            conn.send(("done", partition.sim.next_event_time(),
+                       processed, partition.take_outbox()))
+        elif op == "flush":
+            partition.sim.run(until_ns=message[1])
+            conn.send(("flushed",))
+        elif op == "finish":
+            conn.send(("result", scenario.collect(partition),
+                       partition.sim.events_processed))
+            conn.close()
+            return
+
+
+@dataclass
+class MpRunResult:
+    results: Dict[int, object]      # shard id -> scenario.collect()
+    events_processed: int
+    windows: int
+    run_wall_s: float               # window loop only (post-build)
+
+
+def run_multiprocessing(spec: TopologySpec, plan: ShardPlan, scenario,
+                        seed: int = 0,
+                        until_ns: Optional[int] = None,
+                        window_ns: Optional[int] = None
+                        ) -> MpRunResult:
+    """Run ``scenario`` over ``spec``/``plan`` with one process per
+    shard.
+
+    ``scenario`` must expose ``setup(partition)`` (attach workloads
+    and sinks for the shard's own devices) and ``collect(partition)``
+    (return a picklable result).  Requires the ``fork`` start method.
+    """
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - platform dependent
+        raise ShardingError(
+            "multiprocessing backend needs the fork start method"
+        ) from exc
+    plan.validate(spec)
+    lookahead = plan.lookahead_ns(spec)
+    if window_ns is None:
+        window_ns = lookahead if lookahead is not None else MS
+    if lookahead is not None and window_ns > lookahead:
+        raise ShardingError(
+            f"window {window_ns} ns exceeds lookahead {lookahead} ns")
+
+    conns = []
+    procs = []
+    for sid in range(plan.n_shards):
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=_mp_worker,
+                           args=(child_conn, spec, plan, sid, seed,
+                                 scenario),
+                           daemon=True)
+        proc.start()
+        child_conn.close()
+        conns.append(parent_conn)
+        procs.append(proc)
+
+    try:
+        next_times: List[Optional[int]] = []
+        for conn in conns:
+            tag, t = conn.recv()
+            assert tag == "ready"
+            next_times.append(t)
+
+        t_wall0 = time.perf_counter()
+        now = 0
+        windows = 0
+        events = 0
+        pending: List[Handoff] = []
+        owner = plan.owner
+        while True:
+            candidates = [t for t in next_times if t is not None]
+            candidates += [m[0] for m in pending]
+            if not candidates:
+                break
+            t_min = min(candidates)
+            if until_ns is not None and t_min > until_ns:
+                break
+            w_end = max(now, t_min) + window_ns
+            if until_ns is not None and w_end > until_ns:
+                w_end = until_ns
+            _sort_handoffs(pending)
+            inbound: Dict[int, List[Handoff]] = {}
+            for message in pending:
+                inbound.setdefault(owner[message[5]],
+                                   []).append(message)
+            pending = []
+            for sid, conn in enumerate(conns):
+                conn.send(("step", w_end, inbound.get(sid, [])))
+            for sid, conn in enumerate(conns):
+                tag, t_next, processed, outbox = conn.recv()
+                assert tag == "done"
+                next_times[sid] = t_next
+                events += processed
+                pending.extend(outbox)
+            now = w_end
+            windows += 1
+            if until_ns is not None and w_end >= until_ns:
+                break
+        if until_ns is not None:
+            for conn in conns:
+                conn.send(("flush", until_ns))
+            for conn in conns:
+                assert conn.recv()[0] == "flushed"
+        run_wall_s = time.perf_counter() - t_wall0
+
+        results: Dict[int, object] = {}
+        for sid, conn in enumerate(conns):
+            conn.send(("finish",))
+            tag, collected, _total = conn.recv()
+            assert tag == "result"
+            results[sid] = collected
+        return MpRunResult(results=results, events_processed=events,
+                           windows=windows, run_wall_s=run_wall_s)
+    finally:
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hang safety net
+                proc.terminate()

@@ -30,18 +30,29 @@ class SimulationError(Exception):
 class Event:
     """A scheduled callback; cancellable until it fires."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled",
+                 "_owner")
 
     def __init__(self, time: int, seq: int,
-                 callback: Callable, args: tuple) -> None:
+                 callback: Callable, args: tuple,
+                 owner: "Optional[Simulator]" = None) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._owner = owner
 
     def cancel(self) -> None:
+        # The owner's live-event counter must move exactly once per
+        # event: repeated cancels and cancels after the event fired
+        # (owner already detached) are no-ops.
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._live -= 1
+            self._owner = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -61,20 +72,23 @@ class Simulator:
         self.rng = random.Random(seed)
         self._heap: List[Event] = []
         self._seq = itertools.count()
+        self._live = 0
         self.events_processed = 0
         # Bound lazily (bind_telemetry) to avoid importing telemetry
         # nulls here; run() checks for None instead.
         self._m_events = None
         self._g_now = None
 
-    def bind_telemetry(self, telemetry) -> None:
+    def bind_telemetry(self, telemetry, **labels) -> None:
         """Mirror the event counter and clock into a
         :class:`repro.telemetry.MetricRegistry` (batched per run() so
-        the event loop itself stays uninstrumented)."""
+        the event loop itself stays uninstrumented).  ``labels`` lets
+        a sharded run keep one ``sim_events_total`` series per shard."""
         if telemetry is None or not telemetry.enabled:
             return
-        self._m_events = telemetry.registry.counter("sim_events_total")
-        self._g_now = telemetry.registry.gauge("sim_now_ns")
+        self._m_events = telemetry.registry.counter("sim_events_total",
+                                                    **labels)
+        self._g_now = telemetry.registry.gauge("sim_now_ns", **labels)
 
     def schedule(self, delay_ns: int, callback: Callable,
                  *args) -> Event:
@@ -83,8 +97,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule {delay_ns} ns in the past")
         event = Event(self.now + delay_ns, next(self._seq),
-                      callback, args)
+                      callback, args, owner=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def at(self, time_ns: int, callback: Callable, *args) -> Event:
@@ -108,6 +123,8 @@ class Simulator:
             if event.time < self.now:
                 raise SimulationError("event time went backwards")
             self.now = event.time
+            self._live -= 1
+            event._owner = None
             event.callback(*event.args)
             processed += 1
         if until_ns is not None and self.now < until_ns:
@@ -120,7 +137,23 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (not yet fired, not cancelled) events.
+
+        O(1): a counter maintained by schedule/cancel/run instead of a
+        heap scan — the sharded barrier loop polls this per window.
+        """
+        return self._live
+
+    def next_event_time(self) -> Optional[int]:
+        """Earliest live event time, or None when the heap is drained.
+
+        Cancelled events at the front are popped lazily, so the peek
+        is amortized O(1).
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
 
     def clock(self) -> int:
         """Clock callable handed to enclaves (CLOCK opcode source)."""

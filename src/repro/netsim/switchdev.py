@@ -50,6 +50,24 @@ class Device:
         return f"{type(self).__name__}({self.name})"
 
 
+def stable_salt(name: str, seed: int = 0) -> int:
+    """A deterministic 32-bit ECMP salt derived from a device name.
+
+    Spec-built topologies (:class:`repro.netsim.topology.TopologySpec`)
+    use this instead of drawing from ``sim.rng`` so the salt does not
+    depend on device construction order — a prerequisite for the
+    sharded simulator, where each shard constructs only its own
+    partition yet every replica of a switch must hash flows the same
+    way.
+    """
+    h = (0x811C9DC5 ^ (seed & 0xFFFFFFFF)) & 0xFFFFFFFF
+    for byte in name.encode():
+        h ^= byte
+        h = (h * 0x01000193) & 0xFFFFFFFF
+        h ^= h >> 13
+    return h
+
+
 def flow_hash(five_tuple: Tuple[int, int, int, int, int],
               salt: int) -> int:
     """Deterministic 32-bit mix of a five-tuple (ECMP hashing)."""

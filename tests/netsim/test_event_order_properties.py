@@ -1,0 +1,192 @@
+"""Property test: the heap-based Simulator against a naive reference.
+
+Seeded random event programs — schedule, cancel, reschedule, events
+that spawn more events (including same-instant ones) from inside
+callbacks — run through both the production heap simulator and a
+deliberately naive executor that keeps a plain list and re-sorts it
+on every step.  The observable callback order must be identical,
+including same-instant ties (defined to fire in schedule order) and
+events created while the batch they join is already firing.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim.simulator import SimulationError, Simulator
+
+SPAWN_LIMIT = 600
+
+
+class HeapExecutor:
+    """The production simulator behind the common driver API."""
+
+    def __init__(self):
+        self.sim = Simulator()
+
+    @property
+    def now(self):
+        return self.sim.now
+
+    def schedule(self, delay, callback, *args):
+        return self.sim.schedule(delay, callback, *args)
+
+    def cancel(self, handle):
+        handle.cancel()
+
+    def run(self):
+        return self.sim.run()
+
+    @property
+    def pending(self):
+        return self.sim.pending
+
+
+class ReferenceExecutor:
+    """Sorted-list executor: obviously correct, O(n log n) per event.
+
+    Keeps every live event in a plain list and re-sorts by
+    ``(time, schedule_seq)`` before each step — the specification the
+    heap implementation must match.
+    """
+
+    def __init__(self):
+        self.now = 0
+        self._events = []
+        self._seq = 0
+
+    def schedule(self, delay, callback, *args):
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {delay} ns in the past")
+        record = [self.now + delay, self._seq, callback, args, False]
+        self._seq += 1
+        self._events.append(record)
+        return record
+
+    def cancel(self, record):
+        record[4] = True
+
+    def run(self):
+        processed = 0
+        while True:
+            live = [r for r in self._events if not r[4]]
+            if not live:
+                break
+            live.sort(key=lambda r: (r[0], r[1]))
+            record = live[0]
+            self._events.remove(record)
+            self.now = record[0]
+            record[2](*record[3])
+            processed += 1
+        return processed
+
+    @property
+    def pending(self):
+        return sum(1 for r in self._events if not r[4])
+
+
+def build_program(rng, n_roots=25, n_ids=80):
+    """A random event program as plain data.
+
+    ``rules[event_id] = (spawns, cancels)``: when ``event_id`` fires
+    it schedules each ``(delay, child_id)`` (delay 0 joins the batch
+    currently firing) and cancels the latest live handle of each
+    listed id — which may already have fired or never exist, both
+    no-ops.
+    """
+    rules = {}
+    for event_id in range(n_ids):
+        spawns = []
+        cancels = []
+        if rng.random() < 0.7:
+            for _ in range(rng.randrange(1, 4)):
+                delay = rng.choice((0, 0, 1, 3, rng.randrange(40)))
+                spawns.append((delay, rng.randrange(n_ids)))
+        if rng.random() < 0.4:
+            cancels.append(rng.randrange(n_ids))
+        rules[event_id] = (spawns, cancels)
+    roots = [(rng.randrange(60), rng.randrange(n_ids))
+             for _ in range(n_roots)]
+    return roots, rules
+
+
+class Driver:
+    """Plays one program against one executor, logging fire order."""
+
+    def __init__(self, executor, roots, rules):
+        self.executor = executor
+        self.rules = rules
+        self.handles = {}
+        self.log = []
+        self.spawned = 0
+        for time, event_id in roots:
+            self._spawn(time, event_id)
+
+    def _spawn(self, delay, event_id):
+        if self.spawned >= SPAWN_LIMIT:
+            return
+        self.spawned += 1
+        self.handles[event_id] = self.executor.schedule(
+            delay, self._fire, event_id)
+
+    def _fire(self, event_id):
+        self.log.append((event_id, self.executor.now))
+        spawns, cancels = self.rules[event_id]
+        for delay, child_id in spawns:
+            self._spawn(delay, child_id)
+        for target in cancels:
+            handle = self.handles.get(target)
+            if handle is not None:
+                self.executor.cancel(handle)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_heap_matches_reference_executor(seed):
+    rng = random.Random(seed)
+    roots, rules = build_program(rng)
+
+    heap = HeapExecutor()
+    heap_driver = Driver(heap, roots, rules)
+    heap_processed = heap.run()
+
+    reference = ReferenceExecutor()
+    ref_driver = Driver(reference, roots, rules)
+    ref_processed = reference.run()
+
+    assert heap_driver.log == ref_driver.log
+    assert heap_processed == ref_processed
+    assert heap.pending == reference.pending == 0
+    assert len(heap_driver.log) > 0
+
+
+def test_same_instant_spawn_joins_current_batch_in_order():
+    """An event scheduled with delay 0 from inside a callback fires in
+    the same instant, after everything already scheduled there."""
+    for executor in (HeapExecutor(), ReferenceExecutor()):
+        log = []
+        executor.schedule(
+            10, lambda: (log.append("first"),
+                         executor.schedule(0, log.append, "spawned")))
+        executor.schedule(10, log.append, "second")
+        executor.run()
+        assert log == ["first", "second", "spawned"]
+
+
+def test_cancel_inside_batch_prevents_same_instant_peer():
+    """Cancelling a same-instant peer from a callback must stop it in
+    both executors (the heap pops lazily; the reference filters)."""
+    for executor_cls in (HeapExecutor, ReferenceExecutor):
+        executor = executor_cls()
+        log = []
+        handles = {}
+
+        def killer():
+            log.append("killer")
+            executor.cancel(handles["victim"])
+
+        executor.schedule(5, killer)
+        handles["victim"] = executor.schedule(5, log.append, "victim")
+        executor.schedule(5, log.append, "survivor")
+        executor.run()
+        assert log == ["killer", "survivor"]

@@ -1,0 +1,323 @@
+"""Sharded vs single-heap equivalence harness (``pytest -m shard``).
+
+Seeded random topologies and workloads run through both the sharded
+simulator (sequential backend) and the plain single-heap simulator;
+every observable must agree exactly:
+
+* per-host packet traces — ``(arrival_ns, wire digest)`` sequences;
+* per-send completion times (single-packet flows keyed by the
+  globally unique source port);
+* final enclave/function state — each receiving host feeds its
+  packets through an interpreted rx-stats action function, and the
+  function's global store plus the enclave packet counters must
+  match;
+* switch receive/drop counters and per-port tx/drop/ECN statistics.
+
+Workloads draw globally distinct transmission start times
+(``rng.sample``), the one precondition for exact equivalence: two
+transmissions starting the same nanosecond in different shards have
+no defined relative order in the single heap either (docs/SHARDING.md).
+"""
+
+import random
+
+import pytest
+
+from repro.core.enclave import Enclave
+from repro.lang.annotations import (AccessLevel, Field, FieldKind,
+                                    Lifetime, schema)
+from repro.netsim.packet import Packet, ip_of
+from repro.netsim.sharded import (ShardPlan, ShardedSimulator,
+                                  ShardingError, run_multiprocessing)
+from repro.netsim.simulator import GBPS, Simulator
+from repro.netsim.topology import (HostSpec, LinkSpec, SwitchSpec,
+                                   TopologySpec)
+from repro.netsim.wire import packet_digest
+
+pytestmark = pytest.mark.shard
+
+
+# ---------------------------------------------------------------------------
+# Random topologies: clusters of hosts behind per-cluster switches,
+# joined by one or two root switches (dual roots exercise pinned-salt
+# ECMP).  Cut links (cluster switch <-> root) get 2-5 us propagation,
+# so the conservative window is always >= 2 us.
+# ---------------------------------------------------------------------------
+
+
+def random_cluster_spec(rng):
+    n_clusters = rng.randrange(2, 5)
+    roots = ("root0", "root1") if rng.random() < 0.5 else ("root0",)
+    hosts, switches, links = [], [], []
+    routes = {}
+    group_of = {}
+    cluster_hosts = []
+    host_index = 1
+    for c in range(n_clusters):
+        sw = f"s{c}"
+        switches.append(SwitchSpec(sw, rng.getrandbits(32)))
+        routes[sw] = {}
+        group_of[sw] = c
+        members = []
+        for i in range(rng.randrange(2, 5)):
+            h = HostSpec(f"h{c}_{i}", ip_of(host_index))
+            host_index += 1
+            hosts.append(h)
+            members.append(h)
+            group_of[h.name] = c
+            links.append(LinkSpec(
+                h.name, sw, rng.choice((1 * GBPS, 10 * GBPS)),
+                prop_delay_ns=rng.randrange(500, 1500),
+                queue_capacity_bytes=rng.choice((30_000, 300_000)),
+                ecn_threshold_bytes=rng.choice((None, 20_000))))
+        cluster_hosts.append(members)
+    for r in roots:
+        switches.append(SwitchSpec(r, rng.getrandbits(32)))
+        routes[r] = {}
+        group_of[r] = -1
+        for c in range(n_clusters):
+            links.append(LinkSpec(
+                f"s{c}", r, 40 * GBPS,
+                prop_delay_ns=rng.randrange(2_000, 5_001)))
+    for c in range(n_clusters):
+        table = routes[f"s{c}"]
+        for cc, members in enumerate(cluster_hosts):
+            for h in members:
+                table[h.ip] = (h.name,) if cc == c else roots
+    for r in roots:
+        table = routes[r]
+        for cc, members in enumerate(cluster_hosts):
+            for h in members:
+                table[h.ip] = (f"s{cc}",)
+    spec = TopologySpec(hosts=tuple(hosts), switches=tuple(switches),
+                        links=tuple(links), routes=routes)
+    return spec, group_of, n_clusters
+
+
+def random_workload(spec, rng, n_packets=120, horizon_ns=400_000):
+    names = [h.name for h in spec.hosts]
+    sends = []
+    for j, t in enumerate(sorted(rng.sample(range(horizon_ns),
+                                            n_packets))):
+        src = names[rng.randrange(len(names))]
+        dst = names[rng.randrange(len(names))]
+        while dst == src:
+            dst = names[rng.randrange(len(names))]
+        sends.append((t, src, spec.host_ip(dst), 10_000 + j,
+                      rng.choice((0, 200, 700, 1460)),
+                      rng.randrange(8)))
+    return sends
+
+
+def _send_one(host, dst_ip, src_port, payload_len, priority):
+    packet = Packet(src_ip=host.ip, dst_ip=dst_ip, src_port=src_port,
+                    dst_port=9000, payload_len=payload_len,
+                    created_at=host.sim.now)
+    packet.priority = priority
+    host.ports[0].enqueue(packet)
+
+
+def _schedule_sends(hosts, sends):
+    for t, src, dst_ip, src_port, payload_len, priority in sends:
+        host = hosts[src]
+        host.sim.at(t, _send_one, host, dst_ip, src_port,
+                    payload_len, priority)
+
+
+# ---------------------------------------------------------------------------
+# The observer: a host "stack" recording (arrival, digest) and pushing
+# every packet through an interpreted enclave function so final
+# function state is part of the equivalence check.
+# ---------------------------------------------------------------------------
+
+RX_STATS_SCHEMA = schema(
+    "RxStatsGlobal", Lifetime.GLOBAL, [
+        Field("flow_count", AccessLevel.READ_WRITE, FieldKind.ARRAY),
+        Field("total_bytes", AccessLevel.READ_WRITE),
+    ])
+
+
+def rx_stats_action(packet, _global):
+    n = len(_global.flow_count)
+    if n != 0:
+        idx = (packet.src_ip * 31 + packet.src_port) % n
+        _global.flow_count[idx] = _global.flow_count[idx] + 1
+    _global.total_bytes = _global.total_bytes + packet.size
+    return 0
+
+
+class RxObserver:
+    def __init__(self, host):
+        self.host = host
+        self.trace = []
+        self.fct = {}
+        self.enclave = Enclave(f"{host.name}.enclave",
+                               clock=host.sim.clock, rng=host.sim.rng)
+        self.enclave.install_function(rx_stats_action,
+                                      global_schema=RX_STATS_SCHEMA)
+        self.enclave.set_global_array("rx_stats_action", "flow_count",
+                                      [0] * 16)
+        self.enclave.set_global("rx_stats_action", "total_bytes", 0)
+        self.enclave.install_rule("*", "rx_stats_action")
+        host.bind_stack(self)
+
+    def handle_rx(self, packet, from_port):
+        now = self.host.sim.now
+        self.trace.append((now, packet_digest(packet)))
+        self.fct[packet.src_port] = now - packet.created_at
+        result = self.enclave.process_packet(packet, (), now_ns=now)
+        assert result.error is None
+
+    def state(self):
+        return (self.enclave.query_global("rx_stats_action"),
+                self.enclave.packets_processed)
+
+
+def _port_stats(devices):
+    out = {}
+    for device in devices:
+        for port in device.ports:
+            s = port.stats
+            out[port.name] = (s.tx_packets, s.tx_bytes, s.drops,
+                              s.drop_bytes, s.ecn_marks, s.busy_ns)
+    return out
+
+
+def _snapshot(observers, hosts, switches):
+    fct = {}
+    for obs in observers.values():
+        fct.update(obs.fct)
+    return {
+        "traces": {name: obs.trace
+                   for name, obs in observers.items()},
+        "fct": fct,
+        "enclaves": {name: obs.state()
+                     for name, obs in observers.items()},
+        "switches": {sw.name: (sw.rx_packets, sw.no_route_drops)
+                     for sw in switches},
+        "ports": _port_stats(list(hosts) + list(switches)),
+    }
+
+
+def run_single(spec, sends, seed):
+    sim = Simulator(seed=seed)
+    net = spec.build(sim)
+    observers = {name: RxObserver(host)
+                 for name, host in net.hosts.items()}
+    _schedule_sends(net.hosts, sends)
+    events = sim.run()
+    snap = _snapshot(observers, net.hosts.values(),
+                     net.switches.values())
+    return snap, events
+
+
+def run_sharded(spec, plan, sends, seed, window_ns=None):
+    sharded = ShardedSimulator(spec, plan, seed=seed,
+                               window_ns=window_ns)
+    hosts = sharded.hosts
+    observers = {name: RxObserver(host)
+                 for name, host in hosts.items()}
+    _schedule_sends(hosts, sends)
+    sharded.run()
+    snap = _snapshot(observers, hosts.values(),
+                     sharded.switches.values())
+    return snap, sharded
+
+
+def _assert_equal_snapshots(single, sharded):
+    for key in single:
+        assert sharded[key] == single[key], f"{key} diverged"
+
+
+SEEDS = list(range(20))
+
+
+class TestShardEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_topology_matches_single_heap(self, seed):
+        rng = random.Random(1000 + seed)
+        spec, group_of, n_clusters = random_cluster_spec(rng)
+        sends = random_workload(spec, rng)
+        n_shards = rng.randrange(1, n_clusters + 1)
+        plan = ShardPlan.from_groups(group_of, n_shards)
+
+        single, _ = run_single(spec, sends, seed)
+        sharded_snap, sharded = run_sharded(spec, plan, sends, seed)
+
+        _assert_equal_snapshots(single, sharded_snap)
+        delivered = sum(len(t) for t in single["traces"].values())
+        assert delivered > 0, "degenerate workload: nothing arrived"
+        assert sharded.windows > 0
+        # The roots are always on the coordinator while every cluster
+        # shard is >= 1, so cross-shard traffic exists on every seed.
+        assert sharded.handoffs > 0
+
+    def test_smaller_window_is_still_exact(self):
+        rng = random.Random(77)
+        spec, group_of, n_clusters = random_cluster_spec(rng)
+        sends = random_workload(spec, rng, n_packets=60)
+        plan = ShardPlan.from_groups(group_of, n_clusters)
+        single, _ = run_single(spec, sends, seed=5)
+        lookahead = plan.lookahead_ns(spec)
+        snap, _ = run_sharded(spec, plan, sends, seed=5,
+                              window_ns=max(1, lookahead // 3))
+        _assert_equal_snapshots(single, snap)
+
+    def test_window_above_lookahead_rejected(self):
+        rng = random.Random(3)
+        spec, group_of, n_clusters = random_cluster_spec(rng)
+        plan = ShardPlan.from_groups(group_of, n_clusters)
+        lookahead = plan.lookahead_ns(spec)
+        with pytest.raises(ShardingError):
+            ShardedSimulator(spec, plan, window_ns=lookahead + 1)
+
+    def test_bounded_run_resumes_exactly(self):
+        """run(until) + run() must equal one uninterrupted run —
+        arrivals queued past the bound stay pending, not lost."""
+        rng = random.Random(11)
+        spec, group_of, n_clusters = random_cluster_spec(rng)
+        sends = random_workload(spec, rng, n_packets=60)
+        plan = ShardPlan.from_groups(group_of, n_clusters)
+        single, _ = run_single(spec, sends, seed=2)
+
+        sharded = ShardedSimulator(spec, plan, seed=2)
+        hosts = sharded.hosts
+        observers = {name: RxObserver(host)
+                     for name, host in hosts.items()}
+        _schedule_sends(hosts, sends)
+        sharded.run(until_ns=150_000)
+        assert sharded.now == 150_000
+        sharded.run()
+        snap = _snapshot(observers, hosts.values(),
+                         sharded.switches.values())
+        _assert_equal_snapshots(single, snap)
+
+
+class TestMultiprocessingParity:
+    def test_mp_backend_matches_sequential(self):
+        """The pickled-mailbox backend must reproduce the sequential
+        backend exactly (same scenario digests, same event totals)."""
+        from repro.experiments.scale import ScaleScenario
+
+        rng = random.Random(42)
+        spec, group_of, n_clusters = random_cluster_spec(rng)
+        sends = tuple(random_workload(spec, rng, n_packets=80))
+        plan = ShardPlan.from_groups(group_of, n_clusters)
+        scenario = ScaleScenario(sends)
+
+        sequential = ShardedSimulator(spec, plan, seed=9)
+        for partition in sequential.partitions:
+            scenario.setup(partition)
+        seq_events = sequential.run()
+        seq_rx = {}
+        for partition in sequential.partitions:
+            seq_rx.update(scenario.collect(partition))
+
+        mp_result = run_multiprocessing(spec, plan, scenario, seed=9)
+        mp_rx = {}
+        for collected in mp_result.results.values():
+            mp_rx.update(collected)
+
+        assert mp_rx == seq_rx
+        assert mp_result.events_processed == seq_events
+        assert sum(c for c, _ in seq_rx.values()) == len(sends)

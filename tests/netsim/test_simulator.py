@@ -94,6 +94,83 @@ class TestRunBounds:
         assert processed == 2 and log == [0, 1]
 
 
+class TestRunEdgeCases:
+    def test_until_before_first_event_only_advances_clock(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(100, log.append, "later")
+        processed = sim.run(until_ns=50)
+        assert processed == 0
+        assert log == []
+        assert sim.now == 50
+        assert sim.pending == 1
+
+    def test_max_events_cuts_same_instant_batch(self):
+        sim = Simulator()
+        log = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(5, log.append, tag)
+        processed = sim.run(max_events=2)
+        assert processed == 2 and log == ["a", "b"]
+        assert sim.pending == 1
+        # The rest of the batch fires later, still in schedule order.
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_callback_scheduling_into_past_raises(self):
+        sim = Simulator()
+
+        def bad():
+            sim.schedule(-5, lambda: None)
+
+        sim.schedule(10, bad)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestPendingCounter:
+    """`pending` is an O(1) live counter; every schedule/cancel/fire
+    path must move it exactly once."""
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.run(until_ns=15)
+        assert sim.pending == 1
+        event.cancel()  # already fired: must not decrement again
+        assert sim.pending == 1
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 0
+
+    def test_pending_tracks_schedule_fire_and_callback_schedules(self):
+        sim = Simulator()
+
+        def respawn():
+            sim.schedule(10, lambda: None)
+
+        sim.schedule(5, respawn)
+        assert sim.pending == 1
+        sim.run(until_ns=5)
+        assert sim.pending == 1  # respawned event still live
+        sim.run()
+        assert sim.pending == 0
+
+    def test_next_event_time_skips_cancelled_head(self):
+        sim = Simulator()
+        head = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        head.cancel()
+        assert sim.next_event_time() == 20
+        sim.run()
+        assert sim.next_event_time() is None
+
+
 class TestDeterminism:
     def test_same_seed_same_randoms(self):
         a = Simulator(seed=7)
