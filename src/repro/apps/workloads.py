@@ -231,14 +231,17 @@ class BulkSender:
                  server_ip: int, server_port: int,
                  stage: Optional[Stage] = None,
                  chunk_bytes: int = 1_000_000,
-                 low_priority: int = 0) -> None:
+                 low_priority: int = 0,
+                 tenant: int = 0) -> None:
         self.sim = sim
         self.stack = stack
         self.stage = stage
         self.chunk_bytes = chunk_bytes
         self.low_priority = low_priority
+        self.tenant = tenant
         self.bytes_completed = 0
-        self.conn = stack.connect(server_ip, server_port)
+        self.conn = stack.connect(server_ip, server_port,
+                                  tenant=tenant)
         self.socket = MessageSocket(self.conn, stage)
         self.conn.on_established = lambda c: self._send_chunk()
         self._stopped = False
@@ -249,10 +252,11 @@ class BulkSender:
     def _send_chunk(self) -> None:
         if self._stopped:
             return
-        self.socket.send(
-            self.chunk_bytes,
-            attrs={"msg_type": "bulk", "priority": self.low_priority},
-            on_complete=self._on_chunk_done)
+        attrs = {"msg_type": "bulk", "priority": self.low_priority}
+        if self.tenant:
+            attrs["tenant"] = self.tenant
+        self.socket.send(self.chunk_bytes, attrs=attrs,
+                         on_complete=self._on_chunk_done)
 
     def _on_chunk_done(self, record, now_ns: int) -> None:
         self.bytes_completed += self.chunk_bytes

@@ -380,6 +380,115 @@ def _cmd_telemetry_report(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_latency_breakdown(args) -> int:
+    """Per-packet latency decomposition vs offered load (the
+    repro.latency figure; see docs/LATENCY.md)."""
+    from .experiments import latency_breakdown
+    loads = tuple(float(v) for v in args.loads.split(","))
+    points = latency_breakdown.run_breakdown(
+        loads=loads, policy=args.policy, variant=args.variant,
+        seed=args.seed, duration_ms=args.duration_ms,
+        shards=args.shards)
+    print(latency_breakdown.format_breakdown(
+        points, policy=args.policy, variant=args.variant,
+        shards=args.shards))
+    return 0
+
+
+def _cmd_latency_serve(args) -> int:
+    """Long-running latency decomposition service.
+
+    Runs the Figure 9 flow-scheduling workload (with Pulsar-limited
+    background senders) while streaming per-packet latency
+    decompositions over HTTP: ``/snapshot``, ``/prometheus``,
+    ``/packets/<flow>`` and a chunked ``/stream`` of window
+    summaries.  ``--once`` exits after one scenario pass instead of
+    serving until interrupted; ``--smoke`` additionally verifies the
+    serve contract (every segment class present and exercised,
+    residual within budget, endpoints live) and fails on violation.
+    """
+    from .latency.scenario import LatencyScenario, ServeConfig
+    from .netsim.simulator import MS
+
+    config = ServeConfig(
+        policy=args.policy, variant=args.variant, seed=args.seed,
+        duration_ms=args.duration_ms, step_ms=args.step_ms,
+        load=args.load, shards=args.shards,
+        background_rate_bps=(args.background_rate_mbps * 1_000_000
+                             if args.background_rate_mbps else None),
+        window_ms=args.window_ms, host=args.host, port=args.port,
+        pace_s=0.0 if args.once else args.pace_ms / 1e3)
+    scenario = LatencyScenario(config)
+    server = scenario.make_server().start()
+    print(f"latency-serve: {config.policy}/{config.variant} "
+          f"{'sharded x' + str(config.shards) if config.shards else ''}"
+          f" {config.duration_ms} ms simulated, "
+          f"window {config.window_ms} ms")
+    print(f"serving on {server.url}  "
+          f"(endpoints: /snapshot /prometheus /packets/<flow> "
+          f"/stream)")
+    status = 0
+    try:
+        scenario.run(progress=lambda s: print(
+            f"\r  t={s.workload.now_ns // MS:5d} ms  "
+            f"packets={s.collector.completed}", end="", flush=True))
+        print()
+        result = scenario.finish()
+        server.finish()
+        print(result.row())
+        for cls, stats in scenario.store.segment_summary().items():
+            print(f"  {cls:22s} mean {stats['mean_ns'] / 1e3:10.2f} us"
+                  f"  p99 {stats['p99_ns'] / 1e3:10.2f} us")
+        if args.smoke:
+            status = _latency_smoke(scenario, server)
+        if not args.once:
+            print("scenario complete; still serving "
+                  "(Ctrl-C to stop)...")
+            import time as _time
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\ninterrupted")
+    finally:
+        server.stop()
+    return status
+
+
+def _latency_smoke(scenario, server) -> int:
+    """The --smoke contract: in-process segment checks plus one live
+    probe of every HTTP endpoint."""
+    import json
+    from urllib.request import urlopen
+
+    failures = scenario.smoke_failures()
+    try:
+        with urlopen(f"{server.url}/snapshot", timeout=10) as resp:
+            snap = json.loads(resp.read())
+        for cls in scenario.store.segment_summary():
+            if cls not in snap["segments"]:
+                failures.append(
+                    f"/snapshot missing segment class {cls!r}")
+        with urlopen(f"{server.url}/prometheus", timeout=10) as resp:
+            prom = resp.read().decode()
+        if "latency_segment_ns" not in prom:
+            failures.append("/prometheus missing latency_segment_ns")
+        with urlopen(f"{server.url}/stream", timeout=10) as resp:
+            streamed = [json.loads(line)
+                        for line in resp.read().splitlines() if line]
+        if not streamed:
+            failures.append("/stream produced no window summaries")
+    except OSError as exc:
+        failures.append(f"HTTP probe failed: {exc}")
+    if failures:
+        for failure in failures:
+            print(f"SMOKE FAIL: {failure}")
+        return 1
+    print(f"latency-serve smoke OK ({scenario.collector.completed} "
+          f"packets, {len(streamed)} streamed windows, residual "
+          f"within budget)")
+    return 0
+
+
 def _cmd_report(args) -> int:
     """Regenerate the full evaluation into one markdown report."""
     from .experiments import fig9, fig10, fig11, fig12, micro
@@ -431,6 +540,10 @@ _COMMANDS = {
                      "lossy control-channel PIAS/WCMP convergence"),
     "telemetry-report": (_cmd_telemetry_report,
                          "control-demo with metrics + span tracing"),
+    "latency-breakdown": (_cmd_latency_breakdown,
+                          "per-packet latency decomposition vs load"),
+    "latency-serve": (_cmd_latency_serve,
+                      "live latency decomposition service over HTTP"),
     "report": (_cmd_report, "run everything, write a markdown report"),
 }
 
@@ -513,6 +626,47 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--jsonl-spans", action="store_true",
                            help="dump every recorded span as JSONL "
                                 "(default: one complete chain)")
+        if name in ("latency-breakdown", "latency-serve"):
+            p.add_argument("--policy", default="pias",
+                           choices=("baseline", "pias", "sff"))
+            p.add_argument("--variant", default="eden",
+                           choices=("native", "eden"))
+            p.add_argument("--duration-ms", type=int, default=120,
+                           help="simulated milliseconds per run")
+            p.add_argument("--shards", type=int, default=0,
+                           help="run on the sharded simulator with "
+                                "this many host shards (0: single "
+                                "event heap)")
+        if name == "latency-breakdown":
+            p.add_argument("--loads", default="0.3,0.5,0.7,0.9",
+                           help="comma-separated offered loads")
+        if name == "latency-serve":
+            p.add_argument("--load", type=float, default=0.7,
+                           help="offered load on the worker link")
+            p.add_argument("--step-ms", type=int, default=10,
+                           help="simulated milliseconds per slice "
+                                "between HTTP serving opportunities")
+            p.add_argument("--window-ms", type=int, default=10,
+                           help="tumbling-window width for /stream "
+                                "summaries")
+            p.add_argument("--background-rate-mbps", type=int,
+                           default=2000,
+                           help="aggregate Pulsar rate for the "
+                                "background tenant (0: no rate "
+                                "limiting)")
+            p.add_argument("--host", default="127.0.0.1")
+            p.add_argument("--port", type=int, default=0,
+                           help="listen port (0: OS-assigned)")
+            p.add_argument("--pace-ms", type=float, default=50.0,
+                           help="wall-clock milliseconds to sleep "
+                                "between slices when serving live")
+            p.add_argument("--once", action="store_true",
+                           help="run one scenario pass and exit "
+                                "instead of serving until Ctrl-C")
+            p.add_argument("--smoke", action="store_true",
+                           help="verify the serve contract (segment "
+                                "classes, residual budget, live "
+                                "endpoints); nonzero exit on failure")
         if name == "report":
             p.add_argument("--out", default="report.md",
                            help="output markdown path")

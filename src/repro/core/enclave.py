@@ -626,8 +626,10 @@ class Enclave:
         if not self._tracing:
             return self._process_packet_impl(packet, classifications,
                                              now_ns)
-        with self.telemetry.tracer.span("enclave.process",
-                                        enclave=self.name) as span:
+        with self.telemetry.tracer.span(
+                "enclave.process", enclave=self.name,
+                packet_id=getattr(packet, "packet_id", None),
+                flow_id=getattr(packet, "five_tuple", None)) as span:
             result = self._process_packet_impl(packet, classifications,
                                                now_ns)
             span.set(executed=len(result.executed), drop=result.drop)
@@ -660,7 +662,9 @@ class Enclave:
             if self._tracing:
                 with self.telemetry.tracer.span(
                         "enclave.lookup", enclave=self.name,
-                        table=table_id) as lspan:
+                        table=table_id,
+                        packet_id=getattr(packet, "packet_id", None)
+                        ) as lspan:
                     hit = self._tables[table_id].lookup(class_names)
                     lspan.set(hit=hit is not None)
             else:

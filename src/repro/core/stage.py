@@ -187,10 +187,18 @@ class Stage:
         to one class per rule-set (Section 3.3); rule-sets with no
         matching rule contribute nothing.
         """
+        if msg_id is None:
+            msg_id = self.new_message_id()
         if not self._tracing:
             return self._classify_impl(attrs, msg_id)
+        # flow_id here is the message identity — the same
+        # ``(stage, msg_id)`` that travels in msg_id metadata — so
+        # stage spans join against enclave/packet spans without
+        # digging through attrs.
         with self.telemetry.tracer.span("stage.classify",
-                                        stage=self.name) as span:
+                                        stage=self.name,
+                                        flow_id=(self.name, msg_id)
+                                        ) as span:
             results = self._classify_impl(attrs, msg_id)
             span.set(classes=len(results))
         return results

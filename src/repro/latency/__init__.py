@@ -1,0 +1,42 @@
+"""Per-packet end-to-end latency decomposition (``repro.latency``).
+
+The observability layer that turns raw telemetry into a live,
+queryable answer to "where do the milliseconds go?".  Three pieces:
+
+* :mod:`~repro.latency.decompose` — a :class:`LatencyCollector` that
+  components feed *simulated-time* events (stack emit, rate-limiter
+  enqueue/release, port enqueue/transmit, host receive), correlated
+  by packet id into :class:`PacketRecord` segment breakdowns whose
+  segments provably sum to the observed end-to-end delay (any gap is
+  an explicit ``unattributed`` residual, never silently spread).
+* :mod:`~repro.latency.store` — a bounded in-memory timeseries store:
+  per-segment log2 histograms, windowed summaries over simulated
+  time, and per-flow / per-function rollups.
+* :mod:`~repro.latency.server` — a long-running scenario server
+  (``python -m repro.cli latency-serve``) streaming decompositions
+  over HTTP (``/snapshot``, ``/prometheus``, ``/packets/<flow>``,
+  chunked ``/stream``).
+
+Wiring: create a collector, hang it on a :class:`repro.telemetry.
+Telemetry` (``Telemetry(latency=collector)``), and pass that
+telemetry to the scenario exactly as for metrics/spans — the
+instrumented components (host stack, rate limiter, ports, hosts)
+find it via ``telemetry.latency`` / ``sim.latency`` and report
+events only when it is bound.
+"""
+
+from __future__ import annotations
+
+from .decompose import (ALL_CLASSES, LatencyCollector, PacketRecord,
+                        RESIDUAL, SEGMENTS, flow_key)
+from .store import LatencyStore, WindowSummary
+from .server import LatencyServer
+from .scenario import LatencyScenario, ServeConfig
+
+__all__ = [
+    "SEGMENTS", "RESIDUAL", "ALL_CLASSES", "flow_key",
+    "LatencyCollector", "PacketRecord",
+    "LatencyStore", "WindowSummary",
+    "LatencyServer",
+    "LatencyScenario", "ServeConfig",
+]

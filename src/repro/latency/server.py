@@ -1,0 +1,209 @@
+"""HTTP service for live latency decompositions (stdlib only).
+
+:class:`LatencyServer` wraps a :class:`~repro.latency.store.
+LatencyStore` (and optionally the :class:`~repro.latency.decompose.
+LatencyCollector` feeding it) in a ``ThreadingHTTPServer``:
+
+``GET /``
+    Service index: endpoint list, packet count, collector stats.
+``GET /snapshot``
+    The full store snapshot as JSON (segments, flows, functions,
+    closed windows).
+``GET /prometheus``
+    The store's registry in Prometheus text exposition format.
+``GET /packets/<flow>``
+    Recent raw packet records for one flow (``?limit=N``); the flow
+    key is the dashed five-tuple from
+    :func:`~repro.latency.decompose.flow_key`.  ``/packets`` without
+    a flow returns the most recent records across flows.
+``GET /stream``
+    Chunked transfer encoding: one JSON line per closed window as
+    windows close, starting with already-closed history
+    (``?since=INDEX`` to skip).  The stream ends when the server
+    shuts down or the scenario finishes flushing.
+
+The server binds to an OS-assigned ephemeral port when ``port=0``
+(the default), so tests and the CLI read :attr:`port` after
+:meth:`start`.  Handler threads are daemonic, and :meth:`stop` both
+shuts the listener down and pokes the store's window condition so
+parked ``/stream`` handlers exit promptly — no leaked threads
+(asserted by ``tests/latency/test_server.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from .store import LatencyStore
+
+#: /stream handlers wake at least this often to notice a shutdown.
+_STREAM_POLL_S = 0.25
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-latency/1"
+
+    # Set per server class in LatencyServer.start().
+    latency_server: "LatencyServer"
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        # Quiet by default; the CLI is the user interface.
+        pass
+
+    def _send_json(self, payload: object, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, body: str, status: int = 200,
+                   content_type: str = "text/plain") -> None:
+        data = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type",
+                         f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        srv = self.latency_server
+        url = urlparse(self.path)
+        path = url.path.rstrip("/") or "/"
+        try:
+            if path == "/":
+                self._send_json(srv.index())
+            elif path == "/snapshot":
+                self._send_json(srv.store.snapshot())
+            elif path == "/prometheus":
+                self._send_text(srv.store.prometheus())
+            elif path == "/packets" or path.startswith("/packets/"):
+                flow = path[len("/packets/"):] or None
+                query = parse_qs(url.query)
+                limit = int(query.get("limit", ["50"])[0])
+                records = srv.store.recent(flow=flow, limit=limit)
+                self._send_json({"flow": flow,
+                                 "records": [r.as_dict()
+                                             for r in records]})
+            elif path == "/stream":
+                query = parse_qs(url.query)
+                since = int(query.get("since", ["-1"])[0])
+                self._stream(since)
+            else:
+                self._send_json({"error": f"no such endpoint {path}"},
+                                status=404)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _stream(self, since: int) -> None:
+        srv = self.latency_server
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        last = since
+        while True:
+            windows = srv.store.wait_for_windows(
+                last, timeout=_STREAM_POLL_S)
+            for window in windows:
+                self._chunk(json.dumps(window.as_dict(),
+                                       sort_keys=True) + "\n")
+                last = window.index
+            if srv.stream_done(last):
+                break
+        self._chunk("")  # terminating zero-length chunk
+
+    def _chunk(self, text: str) -> None:
+        data = text.encode()
+        self.wfile.write(f"{len(data):x}\r\n".encode())
+        self.wfile.write(data + b"\r\n")
+        self.wfile.flush()
+
+
+class LatencyServer:
+    """A stoppable HTTP front-end over one latency store."""
+
+    def __init__(self, store: LatencyStore, collector=None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 extra_info: Optional[Dict[str, object]] = None
+                 ) -> None:
+        self.store = store
+        self.collector = collector
+        self.host = host
+        self.port = port
+        self.extra_info = extra_info or {}
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._finished = threading.Event()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "LatencyServer":
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        handler = type("_BoundHandler", (_Handler,),
+                       {"latency_server": self})
+        self._httpd = ThreadingHTTPServer((self.host, self.port),
+                                          handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"latency-server:{self.port}", daemon=True)
+        self._thread.start()
+        return self
+
+    def finish(self) -> None:
+        """Mark the feeding scenario done: open windows are flushed
+        and ``/stream`` handlers drain and close."""
+        self.store.flush()
+        self._finished.set()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut down the listener and join the serving thread."""
+        self.finish()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stream_done(self, last_index: int) -> bool:
+        """A ``/stream`` handler may exit once the scenario finished
+        and every closed window up to the flush has been sent."""
+        if not self._finished.is_set():
+            return False
+        newer = self.store.windows(since_index=last_index)
+        return not newer
+
+    # -- payload helpers ------------------------------------------------
+
+    def index(self) -> Dict[str, object]:
+        info: Dict[str, object] = {
+            "service": "repro.latency",
+            "endpoints": ["/", "/snapshot", "/prometheus",
+                          "/packets/<flow>", "/stream"],
+            "packets": self.store.count,
+        }
+        if self.collector is not None:
+            info["collector"] = self.collector.stats()
+        info.update(self.extra_info)
+        return info
+
+    def __repr__(self) -> str:
+        state = "up" if self._httpd is not None else "down"
+        return f"LatencyServer({self.url}, {state})"

@@ -53,5 +53,10 @@ class Host(Device):
         self.rx_packets += 1
         if self._m_rx is not None:
             self._m_rx.inc()
+        lat = self.sim.latency
+        if lat is not None:
+            # End of the packet's journey for latency decomposition:
+            # arrival at the destination NIC.
+            lat.host_received(packet, self.sim.now, self.name)
         if self.stack is not None:
             self.stack.handle_rx(packet, from_port)

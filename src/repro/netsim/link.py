@@ -76,11 +76,14 @@ class Port:
         """
         self.failed = True
         dropped = 0
+        lat = self.sim.latency
         for queue in self._queues:
             while queue:
                 packet = queue.popleft()
                 self._queued_bytes -= packet.size
                 self.stats.failed_drops += 1
+                if lat is not None:
+                    lat.packet_dropped(packet.packet_id)
                 dropped += 1
         return dropped
 
@@ -101,13 +104,21 @@ class Port:
         """Queue a packet for transmission; False means tail-dropped."""
         if self.peer is None:
             raise RuntimeError(f"port {self.name} is not connected")
+        # Dwell-time instrumentation (repro.latency): sim.latency is
+        # None unless a run bound a LatencyCollector, so the disabled
+        # path costs one attribute load + comparison per packet.
+        lat = self.sim.latency
         if self.failed:
             self.stats.failed_drops += 1
+            if lat is not None:
+                lat.packet_dropped(packet.packet_id)
             return False
         if self._queued_bytes + packet.size > \
                 self.queue_capacity_bytes:
             self.stats.drops += 1
             self.stats.drop_bytes += packet.size
+            if lat is not None:
+                lat.packet_dropped(packet.packet_id)
             return False
         if self.ecn_threshold_bytes is not None and \
                 self._queued_bytes >= self.ecn_threshold_bytes:
@@ -116,6 +127,8 @@ class Port:
         prio = min(max(packet.priority, 0), NUM_PRIORITIES - 1)
         self._queues[prio].append(packet)
         self._queued_bytes += packet.size
+        if lat is not None:
+            lat.port_enqueued(packet.packet_id, self.sim.now)
         if not self._busy:
             self._transmit_next()
         return True
@@ -135,6 +148,10 @@ class Port:
         self.stats.tx_packets += 1
         self.stats.tx_bytes += packet.size
         self.stats.busy_ns += tx_ns
+        lat = self.sim.latency
+        if lat is not None:
+            lat.port_tx_start(packet.packet_id, self.sim.now, tx_ns,
+                              self.prop_delay_ns)
         self._schedule_delivery(packet, tx_ns)
         self.sim.schedule(tx_ns, self._tx_done)
 

@@ -78,6 +78,11 @@ class Simulator:
         # nulls here; run() checks for None instead.
         self._m_events = None
         self._g_now = None
+        #: Per-packet latency event sink
+        #: (:class:`repro.latency.LatencyCollector`); None keeps the
+        #: data-path instrumentation in :mod:`repro.netsim.link` and
+        #: :mod:`repro.netsim.host` on a one-comparison no-op path.
+        self.latency = None
 
     def bind_telemetry(self, telemetry, **labels) -> None:
         """Mirror the event counter and clock into a
@@ -89,6 +94,9 @@ class Simulator:
         self._m_events = telemetry.registry.counter("sim_events_total",
                                                     **labels)
         self._g_now = telemetry.registry.gauge("sim_now_ns", **labels)
+        latency = getattr(telemetry, "latency", None)
+        if latency is not None:
+            self.latency = latency
 
     def schedule(self, delay_ns: int, callback: Callable,
                  *args) -> Event:

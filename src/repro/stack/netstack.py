@@ -47,6 +47,9 @@ class HostStack:
         self.accounting = accounting or CpuAccounting(enabled=False)
         self.telemetry = (telemetry if telemetry is not None
                           else NULL_TELEMETRY)
+        #: Latency-decomposition sink (repro.latency); None means the
+        #: per-packet hooks below reduce to one comparison.
+        self._lat = getattr(self.telemetry, "latency", None)
         registry = self.telemetry.registry
         self._m_tx = registry.counter("stack_packets_sent_total",
                                       host=host.name)
@@ -141,23 +144,41 @@ class HostStack:
         classifications = packet.classifications
         self.accounting.record("api", self.accounting.now() - t0)
 
-        delay = self.stack_latency_ns
+        result = None
+        match_ns = exec_ns = 0
         if self.enclave is not None and \
                 (self.process_pure_acks or not pure_ack):
             result = self.enclave.process_packet(
                 packet, classifications, now_ns=self.sim.now)
             if self._finish_tx_result(packet, result):
+                if self._lat is not None:
+                    self._lat.packet_dropped(packet.packet_id)
                 return
-            delay += self._enclave_delay_ns(result)
-        self._schedule_emit(packet, delay)
+            match_ns, exec_ns = self._enclave_delay_parts(result)
+        emit_at = self._schedule_emit(
+            packet, self.stack_latency_ns + match_ns + exec_ns)
+        if self._lat is not None:
+            self._lat.stack_sent(
+                packet, self.sim.now, emit_at,
+                self.stack_latency_ns, match_ns, exec_ns,
+                result.executed if result is not None else ())
+
+    def _enclave_delay_parts(self, result) -> Tuple[int, int]:
+        """(match, execute) components of the enclave's modeled
+        per-packet data-path delay: the placement's base cost for the
+        match-action lookup, then either interpreted bytecode ops or
+        natively compiled actions."""
+        match_ns = self.enclave.per_packet_base_cost_ns
+        if result.interpreter_ops:
+            exec_ns = (result.interpreter_ops *
+                       self.interpreter_ns_per_op)
+        else:
+            exec_ns = len(result.executed) * self.native_action_cost_ns
+        return match_ns, exec_ns
 
     def _enclave_delay_ns(self, result) -> int:
-        delay = self.enclave.per_packet_base_cost_ns
-        if result.interpreter_ops:
-            delay += result.interpreter_ops * self.interpreter_ns_per_op
-        elif result.executed:
-            delay += len(result.executed) * self.native_action_cost_ns
-        return delay
+        match_ns, exec_ns = self._enclave_delay_parts(result)
+        return match_ns + exec_ns
 
     def _finish_tx_result(self, packet: Packet, result) -> bool:
         """Per-packet TX bookkeeping; True means the packet stops."""
@@ -170,12 +191,13 @@ class HostStack:
             return True
         return False
 
-    def _schedule_emit(self, packet: Packet, delay: int) -> None:
+    def _schedule_emit(self, packet: Packet, delay: int) -> int:
         # Per-packet processing delay; clamped monotonic so the stack
         # never reorders its own transmissions.
         emit_at = max(self.sim.now + delay, self._last_emit_at)
         self._last_emit_at = emit_at
         self.sim.at(emit_at, self.rate_limiters.submit, packet)
+        return emit_at
 
     def _flush_tx(self) -> None:
         """Zero-delay flush: process the tick's TX backlog as one
@@ -210,13 +232,21 @@ class HostStack:
         run: List[Packet] = []
         for i, (packet, _pure_ack) in enumerate(pending):
             result = results[i]
-            delay = self.stack_latency_ns
+            match_ns = exec_ns = 0
             if result is not None:
                 if self._finish_tx_result(packet, result):
+                    if self._lat is not None:
+                        self._lat.packet_dropped(packet.packet_id)
                     continue
-                delay += self._enclave_delay_ns(result)
+                match_ns, exec_ns = self._enclave_delay_parts(result)
+            delay = self.stack_latency_ns + match_ns + exec_ns
             emit_at = max(now + delay, self._last_emit_at)
             self._last_emit_at = emit_at
+            if self._lat is not None:
+                self._lat.stack_sent(
+                    packet, now, emit_at, self.stack_latency_ns,
+                    match_ns, exec_ns,
+                    result.executed if result is not None else ())
             if emit_at != run_at:
                 if run:
                     self.sim.at(run_at,

@@ -46,6 +46,9 @@ class RateLimitedQueue:
         self.dropped = 0
         self.charged_bytes = 0
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: Latency-decomposition sink (repro.latency): enqueue/release
+        #: timestamps keyed by packet id; None is a no-op path.
+        self._lat = getattr(tel, "latency", None)
         registry = tel.registry
         self._m_enqueued = registry.counter(
             "ratelimiter_enqueued_total", queue=name)
@@ -72,11 +75,16 @@ class RateLimitedQueue:
         if self._queued_bytes + packet.size > self.max_queue_bytes:
             self.dropped += 1
             self._m_dropped.inc()
+            if self._lat is not None:
+                self._lat.packet_dropped(packet.packet_id)
             return False
         self._queue.append((packet, charge))
         self._queued_bytes += packet.size
         self.enqueued += 1
         self._m_enqueued.inc()
+        if self._lat is not None:
+            self._lat.rlq_enqueued(packet.packet_id, self.sim.now,
+                                   self.name)
         self._drain()
         self._g_backlog.set(self._queued_bytes)
         return True
@@ -101,12 +109,17 @@ class RateLimitedQueue:
             if self._queued_bytes + packet.size > self.max_queue_bytes:
                 self.dropped += 1
                 self._m_dropped.inc()
+                if self._lat is not None:
+                    self._lat.packet_dropped(packet.packet_id)
                 out.append(False)
                 continue
             self._queue.append((packet, charge))
             self._queued_bytes += packet.size
             self.enqueued += 1
             self._m_enqueued.inc()
+            if self._lat is not None:
+                self._lat.rlq_enqueued(packet.packet_id, self.sim.now,
+                                       self.name)
             self._drain_ready()
             out.append(True)
         self._g_backlog.set(self._queued_bytes)
@@ -142,6 +155,8 @@ class RateLimitedQueue:
                 self._queued_bytes -= packet.size
                 self.dropped += 1
                 self._m_dropped.inc()
+                if self._lat is not None:
+                    self._lat.packet_dropped(packet.packet_id)
                 continue
             if charge > self._tokens:
                 break
@@ -152,6 +167,8 @@ class RateLimitedQueue:
             self.forwarded += 1
             self._m_forwarded.inc()
             self._h_charge.observe(charge)
+            if self._lat is not None:
+                self._lat.rlq_released(packet.packet_id, self.sim.now)
             self.forward(packet)
 
     def _reschedule(self) -> None:

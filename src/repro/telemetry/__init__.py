@@ -33,7 +33,8 @@ from .registry import (Counter, Gauge, Histogram, MetricRegistry,
                        NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM,
                        RegistryError, nearest_rank)
 from .spans import (FlightRecorder, NULL_SPAN, Span, Tracer,
-                    format_trace, traces_containing)
+                    format_trace, spans_for_packet,
+                    traces_containing)
 from .exporters import (jsonl_dump, metric_jsonl_lines,
                         prometheus_text, span_jsonl_lines,
                         write_jsonl)
@@ -44,23 +45,34 @@ __all__ = [
     "RegistryError", "nearest_rank",
     "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM", "NULL_SPAN",
     "Tracer", "Span", "FlightRecorder",
-    "traces_containing", "format_trace",
+    "traces_containing", "format_trace", "spans_for_packet",
     "prometheus_text", "metric_jsonl_lines", "span_jsonl_lines",
     "jsonl_dump", "write_jsonl",
 ]
 
 
 class Telemetry:
-    """Registry + tracer + flight recorder for one run."""
+    """Registry + tracer + flight recorder for one run.
+
+    ``latency`` optionally carries a
+    :class:`repro.latency.LatencyCollector`: a sink for *simulated-
+    time* per-packet events (stack emit, rate-limiter queueing, port
+    dwell, host receive) that the latency-decomposition subsystem
+    joins into per-packet delay breakdowns.  It stays ``None`` unless
+    a run opts in, so instrumented components guard with one
+    ``is not None`` check and pay nothing otherwise.
+    """
 
     def __init__(self, enabled: bool = True,
                  recorder_capacity: int = 4096,
-                 clock: Optional[Callable[[], int]] = None) -> None:
+                 clock: Optional[Callable[[], int]] = None,
+                 latency=None) -> None:
         self.enabled = enabled
         self.registry = MetricRegistry(enabled=enabled)
         self.recorder = FlightRecorder(recorder_capacity)
         self.tracer = Tracer(self.recorder, enabled=enabled,
                              clock=clock or time.perf_counter_ns)
+        self.latency = latency if enabled else None
 
     def reset(self) -> None:
         self.registry.reset()

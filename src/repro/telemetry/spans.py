@@ -28,10 +28,18 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 
 class Span:
-    """One timed, attributed step; ends when its ``with`` block exits."""
+    """One timed, attributed step; ends when its ``with`` block exits.
+
+    ``packet_id`` and ``flow_id`` are first-class correlation tags
+    rather than ordinary attrs: per-packet tooling (the latency
+    decomposer, trace joins) reads them as plain fields instead of
+    digging through the attrs dict.  They are set at span creation
+    (``tracer.span(name, packet_id=...)``) or later via :meth:`tag`.
+    """
 
     __slots__ = ("trace_id", "span_id", "parent_id", "name",
-                 "start_ns", "end_ns", "attrs", "_tracer")
+                 "start_ns", "end_ns", "attrs", "packet_id",
+                 "flow_id", "_tracer")
 
     def __init__(self, tracer: "Tracer", name: str, trace_id: int,
                  span_id: int, parent_id: Optional[int],
@@ -43,11 +51,22 @@ class Span:
         self.parent_id = parent_id
         self.start_ns = start_ns
         self.end_ns: Optional[int] = None
+        self.packet_id = attrs.pop("packet_id", None)
+        self.flow_id = attrs.pop("flow_id", None)
         self.attrs = attrs
 
     def set(self, **attrs: object) -> "Span":
         """Attach result attributes (hit table, ops executed, ...)."""
         self.attrs.update(attrs)
+        return self
+
+    def tag(self, packet_id=None, flow_id=None) -> "Span":
+        """Set the correlation ids after the span was opened (e.g.
+        once the packet a message maps to is known)."""
+        if packet_id is not None:
+            self.packet_id = packet_id
+        if flow_id is not None:
+            self.flow_id = flow_id
         return self
 
     @property
@@ -65,7 +84,7 @@ class Span:
         self._tracer._end(self)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        out = {
             "trace": self.trace_id,
             "span": self.span_id,
             "parent": self.parent_id,
@@ -74,6 +93,11 @@ class Span:
             "duration_ns": self.duration_ns,
             "attrs": dict(self.attrs),
         }
+        if self.packet_id is not None:
+            out["packet_id"] = self.packet_id
+        if self.flow_id is not None:
+            out["flow_id"] = self.flow_id
+        return out
 
     def __repr__(self) -> str:
         return (f"Span({self.name} trace={self.trace_id} "
@@ -88,11 +112,15 @@ class _NullSpan:
     name = ""
     trace_id = span_id = -1
     parent_id = None
+    packet_id = flow_id = None
     start_ns = end_ns = 0
     duration_ns = 0
     attrs: Dict[str, object] = {}
 
     def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def tag(self, packet_id=None, flow_id=None) -> "_NullSpan":
         return self
 
     def __enter__(self) -> "_NullSpan":
@@ -212,6 +240,13 @@ def traces_containing(spans: Sequence[Span],
         seen.setdefault(span.trace_id, set()).add(span.name)
     return [trace_id for trace_id, present in seen.items()
             if required <= present]
+
+
+def spans_for_packet(spans: Sequence[Span],
+                     packet_id: object) -> List[Span]:
+    """Spans tagged with one packet id, oldest first — the packet's
+    wall-clock processing story across components."""
+    return [span for span in spans if span.packet_id == packet_id]
 
 
 def format_trace(spans: Sequence[Span]) -> str:

@@ -1,0 +1,199 @@
+"""Analytic decomposition tests: segments sum exactly to the
+measured end-to-end delay, with the residual identically zero."""
+
+import pytest
+
+from repro.core.enclave import Enclave
+from repro.latency import (ALL_CLASSES, LatencyCollector, LatencyStore,
+                           PacketRecord, RESIDUAL, SEGMENTS, flow_key)
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import star
+from repro.stack.netstack import HostStack
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.latency
+
+RATE_BPS = 1_000_000_000          # 1 Gbps -> 8 ns per byte
+PROP_NS = 1_000                   # per hop (topology default)
+PAYLOAD = 946                     # 946 + 54 header = 1000 B on wire
+WIRE_BYTES = 1000
+TX_NS = WIRE_BYTES * 8            # 8000 ns serialization per hop
+STACK_NS = 300                    # HostStack default stack latency
+
+
+def build_two_hosts(with_enclave=False):
+    sim = Simulator(seed=0)
+    net = star(sim, 2, host_rate_bps=RATE_BPS)
+    store = LatencyStore()
+    collector = LatencyCollector(store=store)
+    tel = Telemetry(latency=collector)
+    sim.bind_telemetry(tel)
+    stacks = {}
+    for name, host in net.hosts.items():
+        enclave = None
+        if with_enclave and name == "h1":
+            enclave = Enclave(f"{name}.enclave", clock=sim.clock,
+                              rng=sim.rng, telemetry=tel)
+        stacks[name] = HostStack(host.sim, host, enclave=enclave,
+                                 telemetry=tel)
+    return sim, net, stacks, collector, store
+
+
+def make_packet(net, src="h1", dst="h2", payload=PAYLOAD):
+    return Packet(src_ip=net.host_ip(src), dst_ip=net.host_ip(dst),
+                  src_port=1111, dst_port=2222, payload_len=payload)
+
+
+def test_single_packet_segments_sum_exactly():
+    """One uncontended packet: every segment has its closed-form
+    value and the residual is exactly zero."""
+    sim, net, stacks, collector, store = build_two_hosts()
+    packet = make_packet(net)
+    stacks["h1"].send_packet(packet)
+    sim.run()
+
+    assert collector.completed == 1
+    [record] = store.recent()
+    assert record.packet_id == packet.packet_id
+    assert record.flow == flow_key(packet.five_tuple)
+    # t=0 send; emit at 300; NIC idle -> tx 300..8300; arrive tor at
+    # 9300; tor idle -> arrive h2 at 18300.
+    assert record.sent_ns == 0
+    assert record.received_ns == STACK_NS + 2 * (TX_NS + PROP_NS)
+    expected = {
+        "stage_classify": STACK_NS,
+        "enclave_match": 0,
+        "interpreter_execute": 0,
+        "host_queue": 0,
+        "ratelimiter_queue": 0,
+        "switch_queue": 0,
+        "link_serialization": 2 * TX_NS,
+        "link_propagation": 2 * PROP_NS,
+        RESIDUAL: 0,
+    }
+    assert record.segments == expected
+    assert sum(record.segments.values()) == record.e2e_ns
+
+
+def test_back_to_back_packets_charge_queueing_exactly():
+    """Two same-tick packets: the second's NIC wait lands in
+    switch_queue and the identity still closes with residual 0."""
+    sim, net, stacks, collector, store = build_two_hosts()
+    first = make_packet(net)
+    second = make_packet(net)
+    stacks["h1"].send_packet(first)
+    stacks["h1"].send_packet(second)
+    sim.run()
+
+    assert collector.completed == 2
+    by_id = {r.packet_id: r for r in store.recent()}
+    rec1, rec2 = by_id[first.packet_id], by_id[second.packet_id]
+    assert rec1.segments["switch_queue"] == 0
+    # Both emitted at t=300; the second serializes only after the
+    # first's 8000 ns NIC transmission.
+    assert rec2.segments["switch_queue"] == TX_NS
+    for record in (rec1, rec2):
+        assert record.segments[RESIDUAL] == 0
+        assert sum(record.segments.values()) == record.e2e_ns
+
+
+def test_enclave_costs_split_into_match_segment():
+    """With an enclave on the send path the placement's base cost
+    shows up as enclave_match — and the identity still closes."""
+    sim, net, stacks, collector, store = build_two_hosts(
+        with_enclave=True)
+    enclave = stacks["h1"].enclave
+    packet = make_packet(net)
+    stacks["h1"].send_packet(packet)
+    sim.run()
+
+    [record] = store.recent()
+    assert record.segments["enclave_match"] == \
+        enclave.per_packet_base_cost_ns
+    assert record.segments["interpreter_execute"] == 0
+    assert record.segments[RESIDUAL] == 0
+    assert sum(record.segments.values()) == record.e2e_ns
+
+
+def test_every_class_is_reported_for_every_packet():
+    """Zeros are recorded, not omitted: a record always carries the
+    full class set (what the serve smoke check relies on)."""
+    sim, net, stacks, collector, store = build_two_hosts()
+    stacks["h1"].send_packet(make_packet(net))
+    sim.run()
+    [record] = store.recent()
+    assert set(record.segments) == set(ALL_CLASSES)
+    assert set(SEGMENTS) | {RESIDUAL} == set(ALL_CLASSES)
+
+
+class _FakePacket:
+    def __init__(self, packet_id, size=100):
+        self.packet_id = packet_id
+        self.five_tuple = (1, 2, 3, 4, 6)
+        self.size = size
+
+
+def test_dropped_packets_leave_no_record():
+    collector = LatencyCollector(store=LatencyStore())
+    pkt = _FakePacket(7)
+    collector.stack_sent(pkt, 0, 300, 300, 0, 0)
+    collector.packet_dropped(7)
+    assert collector.pending == 0
+    assert collector.dropped == 1
+    assert collector.store.count == 0
+    # A second drop for the same id is a no-op.
+    collector.packet_dropped(7)
+    assert collector.dropped == 1
+
+
+def test_orphan_events_are_counted_not_correlated():
+    collector = LatencyCollector(store=LatencyStore())
+    collector.port_enqueued(99, 10)
+    collector.rlq_released(99, 10)
+    collector.host_received(_FakePacket(99), 20, "h2")
+    assert collector.orphan_events == 2
+    assert collector.completed == 0
+
+
+def test_pending_bound_evicts_oldest():
+    collector = LatencyCollector(store=LatencyStore(), max_pending=2)
+    for pid in (1, 2, 3):
+        collector.stack_sent(_FakePacket(pid), 0, 300, 300, 0, 0)
+    assert collector.pending == 2
+    assert collector.evicted == 1
+    # The oldest journey (packet 1) was the one evicted.
+    collector.host_received(_FakePacket(1), 500, "h2")
+    assert collector.completed == 0
+    collector.host_received(_FakePacket(3), 500, "h2")
+    assert collector.completed == 1
+
+
+def test_retransmission_restarts_the_journey():
+    collector = LatencyCollector(store=LatencyStore())
+    pkt = _FakePacket(5)
+    collector.stack_sent(pkt, 0, 300, 300, 0, 0)
+    collector.stack_sent(pkt, 1000, 1300, 300, 0, 0)
+    assert collector.restarted == 1
+    collector.host_received(pkt, 2000, "h2")
+    [record] = collector.store.recent()
+    # The decomposition describes the delivering attempt.
+    assert record.sent_ns == 1000
+    assert record.e2e_ns == 1000
+
+
+def test_flow_key_is_dashed_five_tuple():
+    assert flow_key((167772161, 40000, 167772162, 9000, 6)) == \
+        "167772161-40000-167772162-9000-6"
+
+
+def test_packet_record_as_dict_round_trip():
+    segments = {cls: 0 for cls in ALL_CLASSES}
+    segments["link_propagation"] = 2000
+    record = PacketRecord(packet_id=3, flow="a-b", function="pias",
+                          size_bytes=1000, sent_ns=10,
+                          received_ns=2010, segments=segments)
+    data = record.as_dict()
+    assert data["e2e_ns"] == 2000
+    assert data["segments"]["link_propagation"] == 2000
+    assert data["function"] == "pias"

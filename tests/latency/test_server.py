@@ -1,0 +1,162 @@
+"""LatencyServer: live endpoints on an ephemeral port, stream
+semantics, and clean shutdown with no leaked threads."""
+
+import json
+import threading
+import time
+from urllib.error import HTTPError
+from urllib.request import urlopen
+
+import pytest
+
+from repro.latency import (ALL_CLASSES, LatencyCollector,
+                           LatencyServer, LatencyStore, PacketRecord)
+
+pytestmark = pytest.mark.latency
+
+WINDOW = 1_000_000
+
+
+def record(packet_id, received_ns, flow="10-1-20-2-6"):
+    segments = {cls: 0 for cls in ALL_CLASSES}
+    segments["link_propagation"] = 2000
+    return PacketRecord(packet_id=packet_id, flow=flow,
+                        function="pias", size_bytes=1000,
+                        sent_ns=received_ns - 2000,
+                        received_ns=received_ns, segments=segments)
+
+
+def populated_store():
+    store = LatencyStore(window_ns=WINDOW)
+    for i in range(3):
+        store.add(record(i + 1, received_ns=i * WINDOW + 10))
+    return store
+
+
+def get_json(url):
+    with urlopen(url, timeout=10) as resp:
+        assert resp.headers["Content-Type"].startswith(
+            "application/json")
+        return json.loads(resp.read())
+
+
+def test_endpoints_serve_live_data():
+    store = populated_store()
+    collector = LatencyCollector(store=store)
+    server = LatencyServer(store, collector=collector).start()
+    try:
+        assert server.port != 0           # ephemeral port was bound
+
+        index = get_json(server.url + "/")
+        assert index["service"] == "repro.latency"
+        assert "/stream" in index["endpoints"]
+        assert index["collector"]["completed"] == 0
+
+        snap = get_json(server.url + "/snapshot")
+        assert snap["packets"] == 3
+        assert set(snap["segments"]) == set(ALL_CLASSES)
+
+        with urlopen(server.url + "/prometheus", timeout=10) as resp:
+            text = resp.read().decode()
+        assert "latency_packets_total 3" in text
+
+        packets = get_json(server.url + "/packets/10-1-20-2-6")
+        assert packets["flow"] == "10-1-20-2-6"
+        assert len(packets["records"]) == 3
+        assert packets["records"][0]["e2e_ns"] == 2000
+
+        packets = get_json(server.url +
+                           "/packets/10-1-20-2-6?limit=1")
+        assert len(packets["records"]) == 1
+
+        everything = get_json(server.url + "/packets")
+        assert len(everything["records"]) == 3
+
+        with pytest.raises(HTTPError) as excinfo:
+            urlopen(server.url + "/nope", timeout=10)
+        assert excinfo.value.code == 404
+    finally:
+        server.stop()
+
+
+def test_stream_sends_closed_windows_and_terminates():
+    store = populated_store()
+    server = LatencyServer(store).start()
+    try:
+        # Scenario over: flush opens -> 3 closed windows, stream ends.
+        server.finish()
+        with urlopen(server.url + "/stream", timeout=10) as resp:
+            assert resp.headers["Content-Type"].startswith(
+                "application/x-ndjson")
+            lines = [json.loads(line)
+                     for line in resp.read().splitlines() if line]
+        assert [w["index"] for w in lines] == [0, 1, 2]
+        assert all(w["count"] == 1 for w in lines)
+        assert lines[0]["segment_mean_ns"]["link_propagation"] == \
+            2000.0
+
+        # ?since= skips already-seen windows.
+        with urlopen(server.url + "/stream?since=1",
+                     timeout=10) as resp:
+            lines = [json.loads(line)
+                     for line in resp.read().splitlines() if line]
+        assert [w["index"] for w in lines] == [2]
+    finally:
+        server.stop()
+
+
+def test_stream_delivers_windows_closed_while_connected():
+    store = LatencyStore(window_ns=WINDOW)
+    server = LatencyServer(store).start()
+    try:
+        got = []
+
+        def reader():
+            with urlopen(server.url + "/stream", timeout=30) as resp:
+                for line in resp:
+                    line = line.strip()
+                    if line:
+                        got.append(json.loads(line))
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        time.sleep(0.05)                  # reader parked on the store
+        store.add(record(1, received_ns=10))
+        store.add(record(2, received_ns=WINDOW + 10))  # closes w0
+        server.finish()                   # closes w1, ends stream
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert [w["index"] for w in got] == [0, 1]
+    finally:
+        server.stop()
+
+
+def test_stop_leaks_no_threads():
+    before = set(threading.enumerate())
+    store = populated_store()
+    server = LatencyServer(store).start()
+    get_json(server.url + "/snapshot")
+    server.stop()
+    # Handler threads are daemonic and exit with the listener; give
+    # them a moment to unwind before comparing.
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = [t for t in threading.enumerate()
+                  if t not in before and t.is_alive()]
+        if not leaked:
+            break
+        time.sleep(0.05)
+    assert not leaked, f"leaked threads: {leaked}"
+
+
+def test_stop_is_idempotent_and_restart_refused():
+    store = populated_store()
+    server = LatencyServer(store).start()
+    server.stop()
+    server.stop()
+    second = LatencyServer(store).start()
+    try:
+        with pytest.raises(RuntimeError):
+            second.start()
+    finally:
+        second.stop()

@@ -1,0 +1,126 @@
+"""LatencyStore: windows, rollups, bounds, snapshot/export."""
+
+import pytest
+
+from repro.latency import (ALL_CLASSES, LatencyStore, PacketRecord,
+                           RESIDUAL)
+
+pytestmark = pytest.mark.latency
+
+WINDOW = 1_000_000  # 1 ms windows for the tests
+
+
+def record(packet_id, received_ns, flow="f1", function="pias",
+           e2e_ns=5_000, size=1000):
+    segments = {cls: 0 for cls in ALL_CLASSES}
+    segments["link_propagation"] = e2e_ns
+    return PacketRecord(packet_id=packet_id, flow=flow,
+                        function=function, size_bytes=size,
+                        sent_ns=received_ns - e2e_ns,
+                        received_ns=received_ns, segments=segments)
+
+
+def test_windows_close_when_a_newer_one_opens():
+    store = LatencyStore(window_ns=WINDOW)
+    store.add(record(1, received_ns=100))
+    store.add(record(2, received_ns=200))
+    assert store.windows() == []          # window 0 still open
+    store.add(record(3, received_ns=WINDOW + 50))
+    [closed] = store.windows()
+    assert closed.index == 0
+    assert closed.count == 2
+    assert closed.start_ns == 0 and closed.end_ns == WINDOW
+    assert closed.e2e_mean_ns == 5000.0
+    assert closed.segment_mean_ns["link_propagation"] == 5000.0
+
+
+def test_flush_closes_open_windows():
+    store = LatencyStore(window_ns=WINDOW)
+    store.add(record(1, received_ns=100))
+    store.flush()
+    [closed] = store.windows()
+    assert closed.count == 1
+
+
+def test_late_record_counts_but_keeps_aggregates_honest():
+    store = LatencyStore(window_ns=WINDOW)
+    store.add(record(1, received_ns=3 * WINDOW + 1))
+    store.add(record(2, received_ns=100))  # window 0, long closed
+    assert store.late_records == 1
+    assert store.count == 2                # still in the run totals
+    assert store.e2e_histogram().count == 2
+
+
+def test_windows_since_index_filters():
+    store = LatencyStore(window_ns=WINDOW)
+    for i in range(4):
+        store.add(record(i + 1, received_ns=i * WINDOW + 10))
+    assert [w.index for w in store.windows()] == [0, 1, 2]
+    assert [w.index for w in store.windows(since_index=1)] == [2]
+
+
+def test_wait_for_windows_timeout_returns_empty():
+    store = LatencyStore(window_ns=WINDOW)
+    assert store.wait_for_windows(-1, timeout=0.01) == []
+    store.add(record(1, received_ns=10))
+    store.flush()
+    got = store.wait_for_windows(-1, timeout=0.01)
+    assert [w.index for w in got] == [0]
+
+
+def test_recent_filters_by_flow_newest_first():
+    store = LatencyStore(window_ns=WINDOW)
+    store.add(record(1, received_ns=100, flow="a"))
+    store.add(record(2, received_ns=200, flow="b"))
+    store.add(record(3, received_ns=300, flow="a"))
+    assert [r.packet_id for r in store.recent()] == [3, 2, 1]
+    assert [r.packet_id for r in store.recent(flow="a")] == [3, 1]
+    assert [r.packet_id for r in store.recent(limit=1)] == [3]
+
+
+def test_record_ring_is_bounded():
+    store = LatencyStore(window_ns=WINDOW, max_records=3)
+    for i in range(5):
+        store.add(record(i + 1, received_ns=100 + i))
+    assert [r.packet_id for r in store.recent()] == [5, 4, 3]
+    assert store.count == 5               # totals keep counting
+
+
+def test_flow_rollups_evict_coldest():
+    store = LatencyStore(window_ns=WINDOW, max_flows=2)
+    store.add(record(1, received_ns=100, flow="a"))
+    store.add(record(2, received_ns=200, flow="b"))
+    store.add(record(3, received_ns=300, flow="a"))  # refresh a
+    store.add(record(4, received_ns=400, flow="c"))  # evicts b
+    snap = store.snapshot()
+    assert set(snap["flows"]) == {"a", "c"}
+    assert snap["flows"]["a"]["count"] == 2
+    assert snap["flows"]["a"]["e2e_mean_ns"] == 5000.0
+
+
+def test_snapshot_schema_has_every_segment_class():
+    store = LatencyStore(window_ns=WINDOW)
+    store.add(record(1, received_ns=100))
+    snap = store.snapshot()
+    for key in ("packets", "window_ns", "e2e", "segments", "flows",
+                "functions", "windows", "late_records"):
+        assert key in snap
+    assert set(snap["segments"]) == set(ALL_CLASSES)
+    assert snap["e2e"]["count"] == 1
+    assert snap["segments"][RESIDUAL]["total_ns"] == 0
+    assert snap["functions"]["pias"]["count"] == 1
+
+
+def test_prometheus_export_carries_segment_series():
+    store = LatencyStore(window_ns=WINDOW)
+    store.add(record(1, received_ns=100))
+    text = store.prometheus()
+    assert "latency_packets_total 1" in text
+    assert 'latency_segment_ns_count{segment="link_propagation"} 1' \
+        in text
+    assert 'segment="unattributed"' in text
+
+
+def test_rejects_nonpositive_window():
+    with pytest.raises(ValueError):
+        LatencyStore(window_ns=0)

@@ -1,0 +1,86 @@
+"""The latency instrumentation must be a true no-op when disabled.
+
+Dwell-time hooks sit on the hottest paths of the simulator — port
+enqueue/transmit, host receive, stack send, rate-limiter admit — so
+they are gated behind a single ``is None`` check.  These regressions
+pin the contract: with no collector bound nothing is recorded and
+nothing changes; with one bound, the *simulated* outcome is still
+bit-identical (observation never perturbs the experiment)."""
+
+import pytest
+
+from repro.experiments.fig9 import build_flow_scheduling
+from repro.latency import LatencyCollector, LatencyStore
+from repro.netsim.link import Port
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import Simulator
+from repro.netsim.switchdev import Device
+from repro.stack.netstack import HostStack
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+pytestmark = pytest.mark.latency
+
+
+def test_simulator_has_no_latency_sink_by_default():
+    sim = Simulator(seed=0)
+    assert sim.latency is None
+    # Binding latency-free telemetry keeps the no-op path.
+    sim.bind_telemetry(Telemetry())
+    assert sim.latency is None
+
+
+def test_disabled_telemetry_never_exposes_a_collector():
+    collector = LatencyCollector(store=LatencyStore())
+    tel = Telemetry(enabled=False, latency=collector)
+    assert tel.latency is None
+    sim = Simulator(seed=0)
+    sim.bind_telemetry(tel)
+    assert sim.latency is None
+    assert NULL_TELEMETRY.latency is None
+
+
+def test_port_path_records_nothing_without_collector():
+    sim = Simulator(seed=0)
+    sink = Device(sim, "sink")
+    received = []
+    sink.receive = lambda packet, port: received.append(packet)
+    port = Port(sim, "p", rate_bps=1_000_000_000)
+    port.connect(sink)
+    port.enqueue(Packet(src_ip=1, dst_ip=2, src_port=1, dst_port=2,
+                        payload_len=100))
+    sim.run()
+    assert len(received) == 1             # data path unaffected
+
+
+def test_stack_and_bank_bind_no_sink_without_collector():
+    sim = Simulator(seed=0)
+    from repro.netsim.topology import star
+    net = star(sim, 2, host_rate_bps=1_000_000_000)
+    stack = HostStack(sim, net.hosts["h1"], telemetry=Telemetry())
+    assert stack._lat is None
+    queue = stack.rate_limiters.configure(1, 1_000_000)
+    assert queue._lat is None
+
+
+def run_fct_digest(telemetry):
+    """Deterministic digest of a short fig9 run's simulated outcome."""
+    scenario = build_flow_scheduling(
+        policy="pias", variant="eden", seed=5, duration_ms=30,
+        telemetry=telemetry)
+    scenario.run()
+    records = tuple((r.flow_id, r.size_bytes, r.started_at,
+                     r.completed_at) for r in scenario.tracker.records)
+    background = tuple(b.bytes_completed
+                       for b in scenario.bulk_senders)
+    return records, background, scenario.now_ns
+
+
+def test_observation_does_not_perturb_the_simulation():
+    """Same seed, with and without a collector: every flow completes
+    at the identical simulated nanosecond."""
+    bare = run_fct_digest(telemetry=None)
+    collector = LatencyCollector(store=LatencyStore())
+    observed = run_fct_digest(
+        telemetry=Telemetry(latency=collector))
+    assert collector.completed > 0        # observation really ran
+    assert bare == observed

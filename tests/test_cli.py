@@ -53,3 +53,34 @@ class TestReportCommand:
         args = build_parser().parse_args(
             ["report", "--out", "/tmp/x.md", "--seed", "5"])
         assert args.out == "/tmp/x.md" and args.seed == 5
+
+
+class TestLatencyCommands:
+    def test_latency_serve_options_parsed(self):
+        args = build_parser().parse_args(
+            ["latency-serve", "--once", "--smoke", "--shards", "2",
+             "--duration-ms", "40", "--port", "8123"])
+        assert args.once and args.smoke
+        assert args.shards == 2 and args.port == 8123
+
+    def test_latency_breakdown_loads_parsed(self):
+        args = build_parser().parse_args(
+            ["latency-breakdown", "--loads", "0.2,0.8"])
+        assert args.loads == "0.2,0.8"
+
+    @pytest.mark.slow
+    @pytest.mark.latency
+    def test_latency_serve_once_smoke_passes(self, capsys):
+        assert main(["latency-serve", "--once", "--smoke",
+                     "--duration-ms", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "latency-serve smoke OK" in out
+        assert "unattributed" in out
+
+    @pytest.mark.slow
+    @pytest.mark.latency
+    def test_latency_breakdown_runs(self, capsys):
+        assert main(["latency-breakdown", "--loads", "0.5",
+                     "--duration-ms", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Latency decomposition vs offered load" in out
