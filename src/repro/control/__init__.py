@@ -17,8 +17,9 @@ from .messages import (Ack, ConfigMessage, ControlError,
                        ControlMessage, Envelope, GLOBAL_ARRAY,
                        GLOBAL_KEYED, GLOBAL_RECORDS, GLOBAL_SCALAR,
                        Hello, InstallFunction, InstallRule, Nack,
-                       ReplaceFunction, RuleSpec, STALE_EPOCH,
-                       StatsReport, UpdateGlobals, UpdateRules)
+                       RemoveFunction, ReplaceFunction, RuleSpec,
+                       STALE_EPOCH, StatsReport, UpdateGlobals,
+                       UpdateRules)
 from .plane import (ControlLoop, ControlPlane, DesiredState,
                     FunctionSpec)
 from .transport import InprocTransport, SimTransport, Transport
@@ -30,7 +31,8 @@ __all__ = [
     "Envelope", "FaultInjector", "FunctionSpec", "GLOBAL_ARRAY",
     "GLOBAL_KEYED", "GLOBAL_RECORDS", "GLOBAL_SCALAR", "Hello",
     "InprocTransport", "InstallFunction", "InstallRule", "Nack",
-    "Outcome", "PendingSend", "ReplaceFunction", "RuleSpec",
+    "Outcome", "PendingSend", "RemoveFunction", "ReplaceFunction",
+    "RuleSpec",
     "STALE_EPOCH", "SimTransport", "StatsReport", "Transport",
     "UpdateGlobals", "UpdateRules", "agent_address",
     "schedule_restart",

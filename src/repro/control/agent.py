@@ -21,8 +21,9 @@ from .channel import (ChannelConfig, ControlEndpoint, Outcome,
 from .messages import (ConfigMessage, ControlError, ControlMessage,
                        GLOBAL_ARRAY, GLOBAL_KEYED, GLOBAL_RECORDS,
                        GLOBAL_SCALAR, Hello, InstallFunction,
-                       InstallRule, ReplaceFunction, STALE_EPOCH,
-                       StatsReport, UpdateGlobals, UpdateRules)
+                       InstallRule, RemoveFunction, ReplaceFunction,
+                       STALE_EPOCH, StatsReport, UpdateGlobals,
+                       UpdateRules)
 from .transport import Transport
 
 
@@ -64,6 +65,8 @@ class EnclaveAgent:
         self._m_reports = registry.counter("agent_reports_total",
                                            host=host)
         self._telemetry_sources: Dict[str, Callable[[], object]] = {}
+        self._health_source: Optional[Callable[[], Dict[str, object]]] \
+            = None
         self._report_interval_ns: Optional[int] = None
         self._report_gen = 0
 
@@ -105,8 +108,21 @@ class EnclaveAgent:
                       if k in ("backend", "optimize_tail_calls")}
             return enclave.replace_function(msg.name, msg.source_fn,
                                             **kwargs)
+        if isinstance(msg, RemoveFunction):
+            # Idempotent: a retransmitted remove (or a remove replayed
+            # after the function is already gone) is a no-op.
+            if msg.name in enclave.functions():
+                enclave.remove_function(msg.name)
+                return True
+            return False
         if isinstance(msg, InstallRule):
             rule = msg.rule
+            # Desired state is authoritative: materialize the tables
+            # the rule references, as the reconcile path already does.
+            for table_id in (rule.table_id, rule.next_table):
+                if table_id is not None and \
+                        table_id not in enclave.query_tables():
+                    enclave.create_table(table_id)
             return enclave.install_rule(rule.pattern, rule.function,
                                         table_id=rule.table_id,
                                         priority=rule.priority,
@@ -186,6 +202,17 @@ class EnclaveAgent:
         """Register a feed sampled into every ``StatsReport``."""
         self._telemetry_sources[name] = source
 
+    def set_health_source(
+            self, source: Optional[Callable[[], Dict[str, object]]],
+    ) -> None:
+        """Sample ``source()`` into every report's ``health`` mapping.
+
+        Rollout health gates (:mod:`repro.fleet.health`) read these
+        signals to decide whether a wave may advance; ``None``
+        detaches the source (reports go back to empty health).
+        """
+        self._health_source = source
+
     def build_report(self) -> StatsReport:
         now = self.scheduler.now if self.scheduler is not None else 0
         return StatsReport(
@@ -195,7 +222,9 @@ class EnclaveAgent:
             telemetry={name: source() for name, source
                        in self._telemetry_sources.items()},
             registry=(self.telemetry.registry.snapshot()
-                      if self.telemetry.enabled else {}))
+                      if self.telemetry.enabled else {}),
+            health=(dict(self._health_source())
+                    if self._health_source is not None else {}))
 
     def send_report(self) -> None:
         """Push one telemetry report (best-effort, unacked)."""

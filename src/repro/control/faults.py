@@ -18,7 +18,7 @@ bit-for-bit reproducible.
 from __future__ import annotations
 
 import random
-from typing import Optional, Set
+from typing import Dict, Optional, Set
 
 from .messages import Envelope
 
@@ -35,7 +35,8 @@ class FaultInjector:
     def __init__(self, rng: Optional[random.Random] = None,
                  drop_prob: float = 0.0,
                  dup_prob: float = 0.0,
-                 extra_delay_ns: int = 0) -> None:
+                 extra_delay_ns: int = 0,
+                 scheduler=None) -> None:
         for name, p in (("drop_prob", drop_prob),
                         ("dup_prob", dup_prob)):
             if not 0.0 <= p <= 1.0:
@@ -44,22 +45,77 @@ class FaultInjector:
         self.drop_prob = drop_prob
         self.dup_prob = dup_prob
         self.extra_delay_ns = extra_delay_ns
+        #: Needed only for scheduled partition windows (``heal_at_ns``
+        #: / :meth:`partition_window`); any object with ``at(time_ns,
+        #: cb, *args)`` works, normally the :class:`Simulator`.
+        self.scheduler = scheduler
         self._partitioned: Set[str] = set()
+        # Per-address partition generation: every partition/heal bumps
+        # it, so a *scheduled* heal only fires against the partition
+        # it was armed for — never against a newer one installed
+        # after a manual heal (long runs re-partition freely).
+        self._partition_gen: Dict[str, int] = {}
         self.dropped = 0
         self.duplicated = 0
         self.partition_drops = 0
+        self.scheduled_heals_fired = 0
 
     # -- partitions --------------------------------------------------------
 
-    def partition(self, address: str) -> None:
-        """Cut the endpoint ``address`` off from everyone."""
+    def bind_scheduler(self, scheduler) -> None:
+        """Late-bind the scheduler used for partition windows."""
+        self.scheduler = scheduler
+
+    def partition(self, address: str,
+                  heal_at_ns: Optional[int] = None) -> None:
+        """Cut the endpoint ``address`` off from everyone.
+
+        With ``heal_at_ns`` the partition heals itself at that
+        absolute sim time — unless it was manually healed or replaced
+        by a newer partition first (generation fencing).
+        """
         self._partitioned.add(address)
+        gen = self._bump_gen(address)
+        if heal_at_ns is not None:
+            if self.scheduler is None:
+                raise ValueError(
+                    "heal_at_ns needs a scheduler; pass one to the "
+                    "constructor or call bind_scheduler()")
+            self.scheduler.at(heal_at_ns, self._scheduled_heal,
+                              address, gen)
+
+    def partition_window(self, address: str, start_ns: int,
+                         heal_at_ns: int) -> None:
+        """Partition ``address`` during ``[start_ns, heal_at_ns)``."""
+        if heal_at_ns <= start_ns:
+            raise ValueError(
+                f"empty partition window [{start_ns}, {heal_at_ns})")
+        if self.scheduler is None:
+            raise ValueError(
+                "partition_window needs a scheduler; pass one to the "
+                "constructor or call bind_scheduler()")
+        self.scheduler.at(start_ns, self.partition, address,
+                          heal_at_ns)
+
+    def _bump_gen(self, address: str) -> int:
+        gen = self._partition_gen.get(address, 0) + 1
+        self._partition_gen[address] = gen
+        return gen
+
+    def _scheduled_heal(self, address: str, gen: int) -> None:
+        if self._partition_gen.get(address) != gen:
+            return  # fenced: healed or re-partitioned since arming
+        self.heal(address)
+        self.scheduled_heals_fired += 1
 
     def heal(self, address: str) -> None:
-        self._partitioned.discard(address)
+        if address in self._partitioned:
+            self._partitioned.discard(address)
+            self._bump_gen(address)
 
     def heal_all(self) -> None:
-        self._partitioned.clear()
+        for address in list(self._partitioned):
+            self.heal(address)
 
     def is_partitioned(self, address: str) -> bool:
         return address in self._partitioned
@@ -92,6 +148,7 @@ class FaultInjector:
         return {"dropped": self.dropped,
                 "duplicated": self.duplicated,
                 "partition_drops": self.partition_drops,
+                "scheduled_heals_fired": self.scheduled_heals_fired,
                 "partitioned": sorted(self._partitioned)}
 
 

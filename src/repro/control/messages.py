@@ -70,6 +70,21 @@ class ReplaceFunction(ConfigMessage):
 
 
 @dataclass(frozen=True)
+class RemoveFunction(ConfigMessage):
+    """Uninstall a function from the enclave.
+
+    Used by rollbacks that must retire a function installed by an
+    abandoned wave.  Removing an absent function is a no-op, so
+    retransmits and replays converge.  The sender is responsible for
+    retiring the function's rules first (a wholesale
+    :class:`UpdateRules` without them) — an enclave refuses to drop a
+    function that live rules still reference.
+    """
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
 class RuleSpec:
     """One desired match-action rule (the controller's view)."""
 
@@ -146,6 +161,9 @@ class StatsReport(ControlMessage):
     carries the host's metric-registry snapshot
     (:meth:`repro.telemetry.registry.MetricRegistry.snapshot`) when
     the host runs with telemetry enabled — empty otherwise.
+    ``health`` carries agent-local health signals (e.g. enclave fault
+    counters, app-level probes) consumed by rollout health gates
+    (:mod:`repro.fleet.health`); empty when no health source is set.
     """
 
     host: str = ""
@@ -154,6 +172,7 @@ class StatsReport(ControlMessage):
     stats: Mapping[str, Mapping[str, int]] = field(default_factory=dict)
     telemetry: Mapping[str, object] = field(default_factory=dict)
     registry: Mapping[str, object] = field(default_factory=dict)
+    health: Mapping[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

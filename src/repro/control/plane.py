@@ -30,8 +30,9 @@ from .channel import (ChannelConfig, ControlEndpoint, Outcome,
 from .messages import (ControlError, ControlMessage, GLOBAL_ARRAY,
                        GLOBAL_KEYED, GLOBAL_RECORDS, GLOBAL_SCALAR,
                        Hello, InstallFunction, InstallRule,
-                       ReplaceFunction, RuleSpec, STALE_EPOCH,
-                       StatsReport, UpdateGlobals, UpdateRules)
+                       RemoveFunction, ReplaceFunction, RuleSpec,
+                       STALE_EPOCH, StatsReport, UpdateGlobals,
+                       UpdateRules)
 from .transport import Transport
 
 
@@ -55,6 +56,17 @@ class DesiredState:
     #: (function, name, kind, key) -> values; last writer wins.
     globals: Dict[Tuple[str, str, str, Optional[tuple]], object] = \
         field(default_factory=dict)
+
+    def snapshot(self) -> "DesiredState":
+        """Deep-enough copy for rollback: specs are copied, the
+        (immutable) source functions and global values are shared."""
+        return DesiredState(
+            epoch=self.epoch,
+            functions={name: FunctionSpec(spec.source_fn,
+                                          dict(spec.kwargs))
+                       for name, spec in self.functions.items()},
+            rules=list(self.rules),
+            globals=dict(self.globals))
 
 
 class ControlLoop:
@@ -86,6 +98,7 @@ class ControlPlane:
         self.reports_received = 0
         self.hellos_handled = 0
         self.replays = 0
+        self.restores = 0
         self.stale_nacks_seen = 0
         self.nack_log: List[Tuple[str, str]] = []
         self._loops: List[ControlLoop] = []
@@ -93,6 +106,7 @@ class ControlPlane:
         self._m_reports = registry.counter("plane_reports_total")
         self._m_hellos = registry.counter("plane_hellos_total")
         self._m_replays = registry.counter("plane_replays_total")
+        self._m_restores = registry.counter("plane_restores_total")
         self._m_stale_nacks = registry.counter(
             "plane_stale_nacks_total")
         self._m_nacks = registry.counter("plane_nacks_total")
@@ -153,6 +167,31 @@ class ControlPlane:
             host=host, epoch=ds.epoch, name=name,
             source_fn=source_fn, kwargs=dict(kwargs)))
 
+    def remove_function(self, host: str, name: str) -> PendingSend:
+        """Retire ``name`` from ``host``'s desired state.
+
+        Any rules that still reference the function are retired first
+        in the same epoch bump (the enclave refuses to drop a function
+        with live rules), via a wholesale ``UpdateRules`` — so the
+        remove itself can never fault on a consistent agent.
+        """
+        ds = self.desired(host)
+        if name not in ds.functions:
+            raise ControlError(
+                f"function {name!r} not in desired state of {host!r}")
+        ds.epoch += 1
+        del ds.functions[name]
+        kept = [r for r in ds.rules if r.function != name]
+        if len(kept) != len(ds.rules):
+            ds.rules = kept
+            self._send(host, UpdateRules(host=host, epoch=ds.epoch,
+                                         rules=tuple(kept)))
+        ds.globals = {k: v for k, v in ds.globals.items()
+                      if k[0] != name}
+        return self._send(host, RemoveFunction(host=host,
+                                               epoch=ds.epoch,
+                                               name=name))
+
     def install_rule(self, host: str, pattern: str, function: str,
                      table_id: int = 0, priority: int = 0,
                      next_table: Optional[int] = None) -> PendingSend:
@@ -203,6 +242,42 @@ class ControlPlane:
         return self._send(host, UpdateGlobals(
             host=host, epoch=ds.epoch, function=function, name=name,
             kind=kind, key=key, values=values))
+
+    # -- rollback ----------------------------------------------------------
+
+    def snapshot_desired(self, host: str) -> DesiredState:
+        """Copy of ``host``'s desired state, for later rollback."""
+        return self.desired(host).snapshot()
+
+    def restore_desired(self, host: str,
+                        snapshot: DesiredState) -> List[PendingSend]:
+        """Roll ``host`` back to a previously snapshotted state.
+
+        The epoch keeps moving *forward* (one past whatever the host
+        has seen), so in-flight messages from the abandoned rollout
+        are fenced: anything still in the old session dies with it,
+        and anything re-sent at the old epoch is Nacked stale.  The
+        restored contents are pushed as a full replay; functions the
+        abandoned rollout installed that the snapshot does not want
+        are retired last, after the replayed ``UpdateRules`` has
+        dropped their rules.
+        """
+        ds = self.desired(host)
+        extras = [name for name in ds.functions
+                  if name not in snapshot.functions]
+        ds.functions = {name: FunctionSpec(spec.source_fn,
+                                           dict(spec.kwargs))
+                        for name, spec in snapshot.functions.items()}
+        ds.rules = list(snapshot.rules)
+        ds.globals = dict(snapshot.globals)
+        ds.epoch = max(ds.epoch, snapshot.epoch) + 1
+        self.restores += 1
+        self._m_restores.inc()
+        sends = self.replay(host)
+        for name in extras:
+            sends.append(self._send(host, RemoveFunction(
+                host=host, epoch=ds.epoch, name=name)))
+        return sends
 
     # -- recovery ----------------------------------------------------------
 
@@ -299,5 +374,6 @@ class ControlPlane:
             "reports_received": self.reports_received,
             "hellos_handled": self.hellos_handled,
             "replays": self.replays,
+            "restores": self.restores,
             "stale_nacks_seen": self.stale_nacks_seen,
         }

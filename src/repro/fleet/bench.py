@@ -1,0 +1,362 @@
+"""Convergence benchmark: time-to-last-Ack vs fleet size.
+
+Rolls the real DDoS-mitigation program (:mod:`repro.functions.ddos`)
+across fleets of growing size on the sharded control fabric, under
+20% injected loss, duplication, and at least one enclave restart in
+the middle of the rollout — then reports, per fleet size, the
+simulated time to the last Ack, the time to full health-gated
+convergence, and the event throughput of the fabric.
+
+Scale trick: the channel, agent, plane, epoch-fencing and
+orchestrator logic under test are byte-for-byte the production path,
+but each host's *data plane* is a :class:`LiteEnclave` — a
+dictionary-backed stand-in implementing exactly the agent-facing
+enclave API without compiling or verifying programs, so 1024 enclaves
+construct in milliseconds instead of minutes.  Scenario-fidelity runs
+(:mod:`repro.fleet.ddos`) use real enclaves.
+
+Everything is seeded and simulated-time-deterministic, so the smoke
+gate (`fleet-bench --smoke`) can compare convergence times against
+``benchmarks/fleet_baseline.json`` without wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..control.faults import schedule_restart
+from ..control.messages import InstallFunction
+from ..functions.ddos import mitigation_program
+from ..netsim.simulator import MS
+from .health import EpochHealthGate
+from .orchestrator import (DONE, FleetOrchestrator, RolloutConfig,
+                           TERMINAL)
+from .plan import RolloutPlan
+from .shardfleet import ShardedFleet
+
+
+@dataclass
+class _LiteRule:
+    rule_id: int
+    pattern: str
+    function: str
+    priority: int = 0
+    next_table: Optional[int] = None
+
+
+class LiteEnclave:
+    """Agent-facing enclave API over plain dicts (no compilation).
+
+    Implements every method :class:`~repro.control.agent.
+    EnclaveAgent` calls, with the same error behavior for the cases
+    the rollout machinery depends on (duplicate installs, removing a
+    function with live rules), so the control path cannot tell the
+    difference — it just doesn't pay for program verification.
+    """
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, object] = {}
+        self._tables: Dict[int, Dict[int, _LiteRule]] = {0: {}}
+        self._globals: Dict[tuple, object] = {}
+        self._rule_ids = itertools.count(1)
+
+    # -- functions ---------------------------------------------------------
+
+    def install_function(self, source_fn, name=None, **kwargs):
+        name = name or getattr(source_fn, "__name__", "action")
+        if name in self._functions:
+            raise ValueError(f"function {name!r} already installed")
+        self._functions[name] = source_fn
+        return source_fn
+
+    def replace_function(self, name, source_fn, **kwargs):
+        self._functions[name] = source_fn
+        return source_fn
+
+    def remove_function(self, name: str) -> None:
+        for rules in self._tables.values():
+            for rule in rules.values():
+                if rule.function == name:
+                    raise ValueError(
+                        f"function {name!r} still referenced")
+        del self._functions[name]
+
+    def functions(self) -> List[str]:
+        return sorted(self._functions)
+
+    # -- tables / rules ----------------------------------------------------
+
+    def create_table(self, table_id: int) -> None:
+        if table_id in self._tables:
+            raise ValueError(f"table {table_id} already exists")
+        self._tables[table_id] = {}
+
+    def query_tables(self) -> List[int]:
+        return sorted(self._tables)
+
+    def query_rules(self, table_id: int = 0) -> List[_LiteRule]:
+        return list(self._tables[table_id].values())
+
+    def install_rule(self, pattern, function, table_id=0, priority=0,
+                     next_table=None) -> int:
+        if function not in self._functions:
+            raise ValueError(f"unknown function {function!r}")
+        rule_id = next(self._rule_ids)
+        self._tables[table_id][rule_id] = _LiteRule(
+            rule_id, pattern, function, priority, next_table)
+        return rule_id
+
+    def remove_rule(self, rule_id: int, table_id: int = 0) -> None:
+        del self._tables[table_id][rule_id]
+
+    # -- globals -----------------------------------------------------------
+
+    def set_global(self, function, name, value):
+        self._globals[(function, name, None)] = value
+
+    def set_global_array(self, function, name, values):
+        self._globals[(function, name, None)] = tuple(values)
+
+    def set_global_records(self, function, name, records):
+        self._globals[(function, name, None)] = tuple(
+            tuple(r) for r in records)
+
+    def set_global_keyed(self, function, name, key, values):
+        self._globals[(function, name, tuple(key))] = tuple(values)
+
+    # -- lifecycle / stats -------------------------------------------------
+
+    def clear(self) -> None:
+        self._functions = {}
+        self._tables = {0: {}}
+        self._globals = {}
+
+    def stats_summary(self) -> Dict[str, Dict[str, int]]:
+        return {name: {"invocations": 0, "faults": 0}
+                for name in self._functions}
+
+
+@dataclass
+class FleetPoint:
+    """One fleet size's convergence measurements."""
+
+    n_hosts: int
+    n_shards: int
+    waves: int
+    converged: bool
+    #: Simulated ns from rollout start to the last wave's last Ack.
+    time_to_last_ack_ns: int
+    #: Simulated ns from rollout start to full health-gated DONE.
+    time_to_converged_ns: int
+    events: int
+    wall_seconds: float
+    restarts: int
+    replays: int
+    stale_nacks: int
+    retransmits: int
+    windows: int
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "n_hosts": self.n_hosts, "n_shards": self.n_shards,
+            "waves": self.waves, "converged": self.converged,
+            "time_to_last_ack_ms":
+                self.time_to_last_ack_ns / MS,
+            "time_to_converged_ms":
+                self.time_to_converged_ns / MS,
+            "events": self.events,
+            "events_per_second": round(self.events_per_second),
+            "restarts": self.restarts, "replays": self.replays,
+            "stale_nacks": self.stale_nacks,
+            "retransmits": self.retransmits,
+            "windows": self.windows,
+        }
+
+
+@dataclass
+class ConvergenceResult:
+    points: List[FleetPoint] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {str(p.n_hosts): p.as_dict() for p in self.points}
+
+
+def run_fleet_convergence(
+        n_hosts: int, n_shards: int = 8, loss: float = 0.20,
+        dup_prob: float = 0.05, seed: int = 1, restarts: int = 1,
+        report_interval_ns: int = 20 * MS,
+        horizon_ns: int = 10_000 * MS,
+        stale_probe: bool = True) -> FleetPoint:
+    """Converge one fleet; returns its measurements."""
+    fleet = ShardedFleet(
+        n_hosts, n_shards, make_enclave=lambda host: LiteEnclave(),
+        seed=seed, loss=loss, dup_prob=dup_prob,
+        report_interval_ns=report_interval_ns)
+    plane = fleet.plane
+    sim = fleet.controller_sim
+    plan = RolloutPlan.by_percent(fleet.hosts)
+    victim_ip = 10_000
+    host_ip = {h: i + 1 for i, h in enumerate(fleet.hosts)}
+    program = mitigation_program(
+        victim_ip, lambda h: host_ip[h], queue_ids=(1, 2, 3, 4))
+    orch = FleetOrchestrator(
+        plane, plan, program, scheduler=sim,
+        gate=EpochHealthGate(
+            max_report_age_ns=3 * report_interval_ns),
+        config=RolloutConfig(poll_interval_ns=5 * MS,
+                             wave_timeout_ns=4_000 * MS))
+    orch.start()
+
+    # At least one enclave restarts while its wave is in flight: pick
+    # hosts from the *second* wave and restart them shortly after
+    # that wave starts, so the wave's sends race the session reset.
+    restart_wave = plan.waves[min(1, len(plan.waves) - 1)]
+    restarted: List[str] = []
+    for i in range(restarts):
+        host = restart_wave.hosts[i % len(restart_wave.hosts)]
+        if host in restarted:
+            continue
+        restarted.append(host)
+
+    def arm_restarts(orchestrator, record) -> None:
+        if record.index != restart_wave.index:
+            return
+        for j, host in enumerate(restarted):
+            agent = fleet.agents[host]
+            agent_sim = fleet.fabric.scheduler_for(agent.address)
+            schedule_restart(agent_sim,
+                             agent_sim.now + (j + 1) * 10 * MS,
+                             agent)
+
+    orch.on_wave_start = arm_restarts
+
+    wall_t0 = time.perf_counter()
+    # Chunked run: stop as soon as the rollout reaches a terminal
+    # state (reports would otherwise generate events forever).
+    chunk = 100 * MS
+    while orch.state not in TERMINAL and fleet.fabric.now < horizon_ns:
+        fleet.run(until_ns=min(horizon_ns,
+                               fleet.fabric.now + chunk))
+    stale_nacks = sum(s.stale_nacks
+                      for s in orch.host_status.values())
+    if stale_probe and restarted:
+        # Epoch fencing check under the same loss: re-send a
+        # wave-style install at a long-stale epoch to a restarted
+        # (fully reconverged) host; the agent must Nack it stale.
+        host = restarted[0]
+        before = plane.stale_nacks_seen
+        plane.endpoint.send(
+            plane.agent_addr(host),
+            InstallFunction(host=host, epoch=1, name="zombie_wave",
+                            source_fn=None))
+        deadline = fleet.fabric.now + 2_000 * MS
+        while plane.stale_nacks_seen == before and \
+                fleet.fabric.now < deadline:
+            fleet.run(until_ns=fleet.fabric.now + chunk)
+        stale_nacks += plane.stale_nacks_seen - before
+    wall = time.perf_counter() - wall_t0
+
+    converged = orch.state == DONE
+    return FleetPoint(
+        n_hosts=n_hosts, n_shards=n_shards, waves=len(plan),
+        converged=converged,
+        time_to_last_ack_ns=orch.time_to_last_ack_ns or -1,
+        time_to_converged_ns=orch.time_to_converged_ns or -1,
+        events=fleet.fabric.events_processed,
+        wall_seconds=wall,
+        restarts=sum(a.restarts for a in fleet.agents.values()),
+        replays=plane.replays,
+        stale_nacks=stale_nacks,
+        retransmits=plane.endpoint.stats.retransmits,
+        windows=fleet.fabric.windows)
+
+
+def run_convergence_sweep(
+        sizes: Sequence[int] = (64, 256, 1024),
+        n_shards: int = 8, loss: float = 0.20,
+        dup_prob: float = 0.05, seed: int = 1,
+        restarts: int = 1) -> ConvergenceResult:
+    result = ConvergenceResult()
+    for n in sizes:
+        result.points.append(run_fleet_convergence(
+            n, n_shards=n_shards, loss=loss, dup_prob=dup_prob,
+            seed=seed, restarts=restarts))
+    return result
+
+
+def format_convergence(result: ConvergenceResult) -> str:
+    lines = [
+        "fleet convergence (sharded control fabric, "
+        "canary 1/10/40/100 waves)",
+        f"{'hosts':>6} {'waves':>5} {'last-ack':>10} "
+        f"{'converged':>10} {'events':>9} {'ev/s':>9} "
+        f"{'replays':>7} {'stale':>5} {'rexmit':>7} {'ok':>3}",
+    ]
+    for p in result.points:
+        lines.append(
+            f"{p.n_hosts:>6} {p.waves:>5} "
+            f"{p.time_to_last_ack_ns / MS:>8.1f}ms "
+            f"{p.time_to_converged_ns / MS:>8.1f}ms "
+            f"{p.events:>9} {p.events_per_second:>9.0f} "
+            f"{p.replays:>7} {p.stale_nacks:>5} "
+            f"{p.retransmits:>7} "
+            f"{'yes' if p.converged else 'NO':>3}")
+    return "\n".join(lines)
+
+
+# -- smoke gate -------------------------------------------------------------
+
+def check_against_baseline(result: ConvergenceResult,
+                           baseline: dict,
+                           threshold: float = 2.0) -> List[str]:
+    """Gate failures (empty list = pass).
+
+    Convergence must hold at every size, and the (seeded,
+    sim-time-deterministic) convergence time must stay within
+    ``threshold`` x the checked-in baseline.
+    """
+    failures: List[str] = []
+    for point in result.points:
+        key = str(point.n_hosts)
+        if not point.converged:
+            failures.append(f"{key} hosts: rollout did not converge")
+            continue
+        base = baseline.get(key)
+        if base is None:
+            failures.append(f"{key} hosts: no baseline entry")
+            continue
+        base_ms = base["time_to_converged_ms"]
+        got_ms = point.time_to_converged_ns / MS
+        if got_ms > base_ms * threshold:
+            failures.append(
+                f"{key} hosts: converged in {got_ms:.1f}ms > "
+                f"{threshold:.1f}x baseline {base_ms:.1f}ms")
+        if point.stale_nacks < 1:
+            failures.append(
+                f"{key} hosts: expected at least one stale-epoch "
+                f"Nack (fencing probe)")
+    return failures
+
+
+def load_baseline(path: str) -> Optional[dict]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def save_baseline(result: ConvergenceResult, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(result.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")

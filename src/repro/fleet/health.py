@@ -1,0 +1,111 @@
+"""Health gates: is an updated enclave actually healthy?
+
+An Ack only proves the config message was applied; the health gate
+decides whether the *enclave survived the change* before the rollout
+widens its blast radius.  Gates read a :class:`HostHealth` view —
+channel convergence plus the freshest ``StatsReport`` (whose
+``health`` mapping the agent fills from its
+:meth:`~repro.control.agent.EnclaveAgent.set_health_source`) — and
+return one of three verdicts:
+
+``HEALTHY``
+    confirm the host; the wave may advance once all hosts confirm.
+``WAIT``
+    not enough evidence yet (no fresh report, epoch lagging); keep
+    polling until the wave times out.
+``FAIL``
+    positive evidence of breakage; the wave fails immediately and the
+    orchestrator pauses or rolls back per policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..control.messages import StatsReport
+
+HEALTHY = "healthy"
+WAIT = "wait"
+FAIL = "fail"
+
+
+@dataclass
+class HostHealth:
+    """Everything a gate may consult about one host."""
+
+    host: str
+    now_ns: int
+    #: Channel-level convergence: no pending sends and the agent's
+    #: last report carries at least the target epoch.
+    in_sync: bool
+    target_epoch: int
+    #: Freshest StatsReport, or None if the host never reported.
+    report: Optional[StatsReport] = None
+
+    @property
+    def report_age_ns(self) -> Optional[int]:
+        if self.report is None:
+            return None
+        return self.now_ns - self.report.at_ns
+
+
+class HealthGate:
+    """Default gate: healthy as soon as the channel converged."""
+
+    def verdict(self, health: HostHealth) -> str:
+        return HEALTHY if health.in_sync else WAIT
+
+
+class EpochHealthGate(HealthGate):
+    """Production-shaped gate: fresh post-update telemetry, no
+    interpreter faults, required functions present.
+
+    - the agent must have *reported at the target epoch* within
+      ``max_report_age_ns`` (an enclave that applied the config and
+      then wedged stops confirming);
+    - any per-function ``faults`` increment observed at the target
+      epoch fails the wave (the program crashes in situ);
+    - ``require_functions`` must all appear in the report's stats
+      (the data plane is actually running the program);
+    - a ``health`` mapping with ``ok: False`` fails the wave
+      (agent-local probe said so).
+    """
+
+    def __init__(self, max_report_age_ns: int,
+                 require_functions: Sequence[str] = (),
+                 max_faults: int = 0) -> None:
+        self.max_report_age_ns = max_report_age_ns
+        self.require_functions = tuple(require_functions)
+        self.max_faults = max_faults
+
+    def verdict(self, health: HostHealth) -> str:
+        if not health.in_sync:
+            return WAIT
+        report = health.report
+        if report is None or \
+                report.applied_epoch < health.target_epoch:
+            return WAIT
+        age = health.report_age_ns
+        if age is None or age > self.max_report_age_ns:
+            return WAIT
+        if report.health.get("ok") is False:
+            return FAIL
+        faults = sum(int(f.get("faults", 0))
+                     for f in report.stats.values())
+        if faults > self.max_faults:
+            return FAIL
+        for name in self.require_functions:
+            if name not in report.stats:
+                return WAIT
+        return HEALTHY
+
+
+class CallbackGate(HealthGate):
+    """Wrap an arbitrary ``fn(HostHealth) -> verdict``."""
+
+    def __init__(self, fn: Callable[[HostHealth], str]) -> None:
+        self.fn = fn
+
+    def verdict(self, health: HostHealth) -> str:
+        return self.fn(health)

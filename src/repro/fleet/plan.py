@@ -1,0 +1,143 @@
+"""Staged rollout plans: which hosts change, in which waves.
+
+A :class:`RolloutPlan` partitions a fleet into ordered *waves*.  The
+orchestrator (:mod:`repro.fleet.orchestrator`) drives one wave at a
+time: install on every host of the wave, await Acks, health-gate,
+then advance.  The first wave is the *canary* — plans built with
+:meth:`RolloutPlan.by_percent` put explicitly named canary hosts
+first and keep the canary wave small (default 1% of the fleet,
+rounded up), so a bad program burns one enclave, not a thousand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class PlanError(Exception):
+    """A rollout plan was malformed."""
+
+
+#: Default cumulative percentage boundaries: canary, then widening
+#: blast radius (the classic 1/10/40/100 staged-deploy split).
+DEFAULT_PERCENTS: Tuple[int, ...] = (1, 10, 40, 100)
+
+
+@dataclass(frozen=True)
+class Wave:
+    """One ordered group of hosts updated together."""
+
+    index: int
+    hosts: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+
+class RolloutPlan:
+    """An ordered, non-overlapping partition of the fleet."""
+
+    def __init__(self, groups: Sequence[Sequence[str]]) -> None:
+        if not groups:
+            raise PlanError("a rollout plan needs at least one wave")
+        seen = set()
+        waves: List[Wave] = []
+        for i, group in enumerate(groups):
+            hosts = tuple(group)
+            if not hosts:
+                raise PlanError(f"wave {i} is empty")
+            for host in hosts:
+                if host in seen:
+                    raise PlanError(
+                        f"host {host!r} appears in two waves")
+                seen.add(host)
+            waves.append(Wave(index=i, hosts=hosts))
+        self.waves: Tuple[Wave, ...] = tuple(waves)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def explicit(cls, groups: Sequence[Sequence[str]]) -> "RolloutPlan":
+        """Waves given as explicit host groups, in rollout order."""
+        return cls(groups)
+
+    @classmethod
+    def by_percent(cls, hosts: Sequence[str],
+                   percents: Sequence[float] = DEFAULT_PERCENTS,
+                   canary_hosts: Optional[Iterable[str]] = None,
+                   ) -> "RolloutPlan":
+        """Waves cut at cumulative percentage boundaries.
+
+        ``percents`` are cumulative fleet fractions, strictly
+        increasing and ending at 100.  ``canary_hosts`` (optional) are
+        moved to the front of the rollout order so they land in the
+        earliest wave(s); remaining hosts keep their given order.
+        Every boundary is rounded up and forced to cover at least one
+        new host, so small fleets still get distinct waves where
+        possible.
+        """
+        ordered = cls._canary_first(hosts, canary_hosts)
+        n = len(ordered)
+        if n == 0:
+            raise PlanError("no hosts to roll out to")
+        if not percents or percents[-1] != 100:
+            raise PlanError("percents must end at 100")
+        last = 0.0
+        for p in percents:
+            if not 0 < p <= 100:
+                raise PlanError(f"percent {p} out of (0, 100]")
+            if p <= last:
+                raise PlanError(
+                    "percents must be strictly increasing")
+            last = p
+        groups: List[List[str]] = []
+        start = 0
+        for p in percents:
+            end = min(n, max(math.ceil(n * p / 100.0), start + 1))
+            if end > start:
+                groups.append(list(ordered[start:end]))
+                start = end
+        return cls(groups)
+
+    @staticmethod
+    def _canary_first(hosts: Sequence[str],
+                      canary_hosts: Optional[Iterable[str]],
+                      ) -> List[str]:
+        if canary_hosts is None:
+            return list(hosts)
+        canaries = list(canary_hosts)
+        host_set = set(hosts)
+        for c in canaries:
+            if c not in host_set:
+                raise PlanError(f"canary host {c!r} not in fleet")
+        canary_set = set(canaries)
+        return canaries + [h for h in hosts if h not in canary_set]
+
+    # -- views -------------------------------------------------------------
+
+    def hosts(self) -> List[str]:
+        """All hosts, in rollout order."""
+        return [h for wave in self.waves for h in wave.hosts]
+
+    @property
+    def canary(self) -> Wave:
+        return self.waves[0]
+
+    def __len__(self) -> int:
+        return len(self.waves)
+
+    def __iter__(self) -> Iterator[Wave]:
+        return iter(self.waves)
+
+    def describe(self) -> str:
+        total = len(self.hosts())
+        parts = []
+        cum = 0
+        for wave in self.waves:
+            cum += len(wave)
+            parts.append(f"w{wave.index}:{len(wave)}"
+                         f"({100.0 * cum / total:.0f}%)")
+        return f"{total} hosts in {len(self.waves)} waves: " + \
+            " ".join(parts)

@@ -1,0 +1,100 @@
+"""Per-enclave and per-wave rollout bookkeeping.
+
+The orchestrator tracks every enclave through a small lifecycle::
+
+    PENDING -> INSTALLING -> ACKED -> CONFIRMED
+                   |            |
+                   +------------+--> FAILED
+                                       |
+                ROLLING_BACK <---------+     (wave-level decision)
+                      |
+                 ROLLED_BACK
+
+``ACKED`` means every config send of the wave's program was
+acknowledged by the agent (the channel's exactly-once delivery
+succeeded); ``CONFIRMED`` additionally means the health gate passed —
+the agent's own ``StatsReport`` telemetry shows it running the target
+epoch and healthy.  The distinction is the point: an Ack proves
+delivery, a report proves the enclave *survived* the change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# Host lifecycle states.
+PENDING = "pending"
+INSTALLING = "installing"
+ACKED = "acked"
+CONFIRMED = "confirmed"
+FAILED = "failed"
+ROLLING_BACK = "rolling-back"
+ROLLED_BACK = "rolled-back"
+
+# Wave outcomes.
+WAVE_RUNNING = "running"
+WAVE_CONFIRMED = "confirmed"
+WAVE_FAILED = "failed"
+WAVE_ABANDONED = "abandoned"
+
+
+@dataclass
+class HostStatus:
+    """One enclave's progress through the current rollout."""
+
+    host: str
+    wave: int = -1
+    state: str = PENDING
+    #: Desired epoch this rollout drove the host to.
+    target_epoch: int = 0
+    installed_at_ns: int = -1
+    acked_at_ns: int = -1
+    confirmed_at_ns: int = -1
+    #: Stale-epoch Nacks observed for this host during the rollout.
+    stale_nacks: int = 0
+    #: Reliable sends that failed outright (retries exhausted or
+    #: rejected with a non-stale reason).
+    send_failures: int = 0
+    failure_reason: str = ""
+
+    @property
+    def done(self) -> bool:
+        return self.state in (CONFIRMED, FAILED, ROLLED_BACK)
+
+
+@dataclass
+class WaveRecord:
+    """Timing and outcome of one wave."""
+
+    index: int
+    hosts: Tuple[str, ...]
+    started_ns: int = -1
+    #: All hosts Acked every send of the wave program.
+    acked_ns: int = -1
+    #: All hosts passed the health gate.
+    confirmed_ns: int = -1
+    outcome: str = WAVE_RUNNING
+    failure_reason: str = ""
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        if self.confirmed_ns < 0 or self.started_ns < 0:
+            return None
+        return self.confirmed_ns - self.started_ns
+
+
+@dataclass
+class RolloutStatus:
+    """Aggregated view the orchestrator exposes to callers."""
+
+    state: str
+    current_wave: int
+    waves: List[WaveRecord] = field(default_factory=list)
+    hosts: List[HostStatus] = field(default_factory=list)
+
+    def counts(self) -> dict:
+        out: dict = {}
+        for hs in self.hosts:
+            out[hs.state] = out.get(hs.state, 0) + 1
+        return out

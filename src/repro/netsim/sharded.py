@@ -255,6 +255,88 @@ def _sort_handoffs(messages: List[Handoff]) -> List[Handoff]:
     return messages
 
 
+class ConservativeWindowLoop:
+    """Generic conservative-lookahead driver over per-shard heaps.
+
+    The packet path has :class:`ShardedSimulator`; other cross-shard
+    traffic (e.g. the fleet control fabric,
+    :mod:`repro.fleet.shardfleet`) reuses the same synchronization
+    protocol through two callbacks:
+
+    ``drain()``
+        called at every window barrier; must move all queued
+        cross-shard messages into their destination shard's heap
+        (scheduling them at their arrival time, which the lookahead
+        guarantees is ``>=`` the barrier time) and return how many it
+        moved.
+    ``pending_time()``
+        earliest queued cross-shard arrival, or ``None``; lets the
+        loop jump idle gaps without stranding an undelivered message.
+
+    Correctness condition, exactly as for the packet path: every
+    cross-shard message must arrive at least ``window_ns`` after it
+    was sent, so nothing emitted inside a window can be needed by
+    another shard within the same window.
+    """
+
+    def __init__(self, sims: List[Simulator], window_ns: int,
+                 drain, pending_time=None) -> None:
+        if window_ns <= 0:
+            raise ShardingError("window must be positive")
+        self.sims = sims
+        self.window_ns = window_ns
+        self.drain = drain
+        self.pending_time = pending_time
+        self.now = 0
+        self.windows = 0
+        self.handoffs = 0
+
+    def _next_event_time(self) -> Optional[int]:
+        t_min: Optional[int] = None
+        for sim in self.sims:
+            t = sim.next_event_time()
+            if t is not None and (t_min is None or t < t_min):
+                t_min = t
+        if self.pending_time is not None:
+            t = self.pending_time()
+            if t is not None and (t_min is None or t < t_min):
+                t_min = t
+        return t_min
+
+    def run(self, until_ns: Optional[int] = None) -> int:
+        """Drive all shards to quiescence (or ``until_ns``)."""
+        processed = 0
+        while True:
+            # Top-of-window drain: messages queued *between* run()
+            # calls (setup code, orchestrator kicks) must land in
+            # their heaps before any shard runs past their arrival.
+            self.handoffs += self.drain()
+            t_min = self._next_event_time()
+            if t_min is None:
+                break
+            if until_ns is not None and t_min > until_ns:
+                break
+            w_end = max(self.now, t_min) + self.window_ns
+            if until_ns is not None and w_end > until_ns:
+                w_end = until_ns
+            for sim in self.sims:
+                processed += sim.run(until_ns=w_end)
+            self.now = w_end
+            self.handoffs += self.drain()
+            self.windows += 1
+            if until_ns is not None and w_end >= until_ns:
+                break
+        if until_ns is not None:
+            for sim in self.sims:
+                if sim.now < until_ns:
+                    sim.run(until_ns=until_ns)
+            if self.now < until_ns:
+                self.now = until_ns
+        elif self.sims:
+            self.now = max(s.now for s in self.sims)
+        return processed
+
+
 class ShardedSimulator:
     """Drop-in runner for a sharded topology (sequential backend).
 

@@ -165,3 +165,92 @@ class TestRestartReplay:
         assert agent.restarts == 0
         sim.run(until_ns=200 * MS)
         assert agent.restarts == 1
+
+
+class TestScheduledHeals:
+    """Partition windows: scheduled heals with generation fencing."""
+
+    def test_partition_heals_itself_at_heal_at_ns(self):
+        sim, faults, controller = make_cluster(seed=7)
+        agent = controller.agent("h1")
+        faults.bind_scheduler(sim)
+        faults.partition(agent.address, heal_at_ns=30 * MS)
+        (pending,) = controller.install_function(
+            "h1", tag_priority, global_schema=TAG_SCHEMA)
+        sim.run(until_ns=25 * MS)
+        assert not pending.done
+        assert faults.is_partitioned(agent.address)
+        sim.run(until_ns=300 * MS)
+        assert not faults.is_partitioned(agent.address)
+        assert faults.scheduled_heals_fired == 1
+        assert pending.acked
+        assert "tag_priority" in controller.enclave("h1").functions()
+
+    def test_partition_window_bounds_the_outage(self):
+        sim, faults, controller = make_cluster(seed=8)
+        agent = controller.agent("h1")
+        faults.bind_scheduler(sim)
+        faults.partition_window(agent.address, 10 * MS, 40 * MS)
+        (pending,) = controller.install_function(
+            "h1", tag_priority, global_schema=TAG_SCHEMA)
+        # Before the window opens the channel is clean...
+        sim.run(until_ns=8 * MS)
+        assert pending.acked
+        # ...inside it, nothing flows...
+        sim.run(until_ns=20 * MS)
+        assert faults.is_partitioned(agent.address)
+        (stuck,) = controller.set_global("h1", "tag_priority",
+                                         "level", 9)
+        sim.run(until_ns=35 * MS)
+        assert not stuck.done
+        # ...and after heal_at_ns the queued update lands.
+        sim.run(until_ns=400 * MS)
+        assert stuck.acked
+        assert controller.enclave(
+            "h1").query_global("tag_priority")["level"] == 9
+
+    def test_stale_scheduled_heal_cannot_heal_newer_partition(self):
+        sim, faults, controller = make_cluster(seed=9)
+        agent = controller.agent("h1")
+        faults.bind_scheduler(sim)
+        faults.partition(agent.address, heal_at_ns=50 * MS)
+        # An operator heals early and installs a NEW partition; the
+        # old timer must not heal it (generation fencing).
+        sim.run(until_ns=10 * MS)
+        faults.heal(agent.address)
+        faults.partition(agent.address)
+        sim.run(until_ns=200 * MS)
+        assert faults.is_partitioned(agent.address)
+        assert faults.scheduled_heals_fired == 0
+
+    def test_manual_heal_wins_and_timer_is_orphaned(self):
+        sim, faults, controller = make_cluster(seed=10)
+        agent = controller.agent("h1")
+        faults.bind_scheduler(sim)
+        faults.partition(agent.address, heal_at_ns=100 * MS)
+        sim.run(until_ns=20 * MS)
+        faults.heal(agent.address)
+        assert not faults.is_partitioned(agent.address)
+        sim.run(until_ns=300 * MS)
+        # The orphaned timer fired as a no-op.
+        assert faults.scheduled_heals_fired == 0
+        assert not faults.is_partitioned(agent.address)
+
+    def test_window_validation(self):
+        sim, faults, _ = make_cluster(seed=11)
+        faults.bind_scheduler(sim)
+        with pytest.raises(ValueError):
+            faults.partition_window("agent:h1", 20 * MS, 20 * MS)
+        unscheduled = FaultInjector()
+        with pytest.raises(ValueError):
+            unscheduled.partition("agent:h1", heal_at_ns=5 * MS)
+        with pytest.raises(ValueError):
+            unscheduled.partition_window("agent:h1", 0, 5 * MS)
+
+    def test_summary_counts_scheduled_heals(self):
+        sim, faults, controller = make_cluster(seed=12)
+        faults.bind_scheduler(sim)
+        faults.partition("agent:h1", heal_at_ns=5 * MS)
+        faults.partition_window("agent:h1", 10 * MS, 15 * MS)
+        sim.run(until_ns=50 * MS)
+        assert faults.summary()["scheduled_heals_fired"] == 2

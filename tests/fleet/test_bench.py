@@ -1,0 +1,95 @@
+"""Convergence benchmark: smoke run, baseline gating, LiteEnclave."""
+
+import pytest
+
+from repro.fleet.bench import (ConvergenceResult, LiteEnclave,
+                               check_against_baseline,
+                               format_convergence,
+                               run_fleet_convergence)
+
+pytestmark = pytest.mark.fleet
+
+
+class TestLiteEnclave:
+    def test_behaves_like_the_enclave_api(self):
+        e = LiteEnclave()
+        assert e.query_tables() == [0]
+        e.install_function(None, name="f")
+        with pytest.raises(Exception):
+            e.install_function(None, name="f")  # duplicate
+        e.create_table(1)
+        rule_id = e.install_rule("*", "f", table_id=0, next_table=1)
+        with pytest.raises(Exception):
+            e.remove_function("f")  # still referenced by a rule
+        e.remove_rule(rule_id, 0)
+        e.remove_function("f")
+        assert e.functions() == []
+        e.clear()
+        assert e.query_tables() == [0]
+
+
+class TestConvergenceSmoke:
+    def test_small_fleet_converges_under_faults(self):
+        point = run_fleet_convergence(48, n_shards=4, loss=0.2,
+                                      dup_prob=0.05, restarts=1)
+        assert point.converged
+        assert point.time_to_last_ack_ns is not None
+        assert point.time_to_converged_ns is not None
+        assert point.time_to_last_ack_ns <= point.time_to_converged_ns
+        # The fault schedule actually ran: one concurrent restart,
+        # replays to recover it, and a stale-epoch Nack probe.
+        assert point.restarts >= 1
+        assert point.replays >= 1
+        assert point.stale_nacks >= 1
+        assert point.retransmits > 0
+        assert point.windows > 0
+        assert point.events > 0
+
+    def test_deterministic_sim_times(self):
+        a = run_fleet_convergence(32, n_shards=4, loss=0.2)
+        b = run_fleet_convergence(32, n_shards=4, loss=0.2)
+        assert a.time_to_converged_ns == b.time_to_converged_ns
+        assert a.events == b.events
+
+
+class TestBaselineGate:
+    def _result(self, **overrides):
+        point = run_fleet_convergence(24, n_shards=2, loss=0.1)
+        for key, value in overrides.items():
+            setattr(point, key, value)
+        result = ConvergenceResult()
+        result.points.append(point)
+        return result
+
+    def test_passes_against_own_baseline(self):
+        result = self._result()
+        assert check_against_baseline(result,
+                                      result.as_dict()) == []
+
+    def test_fails_on_regression(self):
+        result = self._result()
+        baseline = result.as_dict()
+        key = str(result.points[0].n_hosts)
+        baseline[key]["time_to_converged_ms"] /= 10.0
+        failures = check_against_baseline(result, baseline,
+                                          threshold=2.0)
+        assert failures and "baseline" in failures[0]
+
+    def test_fails_on_missing_size(self):
+        result = self._result()
+        assert check_against_baseline(result, {}) != []
+
+    def test_fails_without_stale_nack_probe(self):
+        result = self._result(stale_nacks=0)
+        failures = check_against_baseline(result, result.as_dict())
+        assert any("stale" in f for f in failures)
+
+    def test_fails_on_non_convergence(self):
+        result = self._result(converged=False)
+        failures = check_against_baseline(result, result.as_dict())
+        assert any("converge" in f for f in failures)
+
+    def test_format_lists_every_size(self):
+        result = self._result()
+        text = format_convergence(result)
+        assert "24" in text and "ev/s" in text

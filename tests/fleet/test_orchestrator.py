@@ -1,0 +1,196 @@
+"""FleetOrchestrator: happy path, wave ordering, pause/resume."""
+
+import pytest
+
+from repro.control import ChannelConfig, FaultInjector, InstallFunction
+from repro.core import Controller, Enclave
+from repro.fleet import (DONE, EpochHealthGate, FleetOrchestrator,
+                         PAUSED, ProgramBuilder, RolloutConfig,
+                         RolloutPlan, CONFIRMED)
+from repro.lang import AccessLevel, Field, Lifetime, schema
+from repro.netsim.simulator import MS, Simulator
+
+pytestmark = pytest.mark.fleet
+
+
+# Module-level so the enclave's quotation step can recover the source.
+def mark_packet(packet, _global):
+    packet.priority = _global.level
+
+
+MARK_SCHEMA = schema("Mark", Lifetime.GLOBAL, [
+    Field("level", AccessLevel.READ_ONLY, default=1),
+])
+
+FAST = ChannelConfig(rto_ns=1 * MS, backoff_cap_ns=8 * MS,
+                     jitter_ns=100_000)
+
+
+def make_fleet(num_hosts, seed=1, loss=0.0):
+    sim = Simulator(seed=seed)
+    faults = FaultInjector(rng=sim.rng, drop_prob=loss,
+                           scheduler=sim)
+    controller = Controller(transport="sim", sim=sim, faults=faults,
+                            channel_config=FAST)
+    for i in range(num_hosts):
+        controller.register_enclave(f"h{i + 1}",
+                                    Enclave(f"h{i + 1}.enclave",
+                                            clock=sim.clock,
+                                            rng=sim.rng))
+        # in_sync() needs the agent's applied epoch echoed back in
+        # StatsReports, so every fleet test runs periodic reporting.
+        controller.agent(f"h{i + 1}").start_reporting(5 * MS)
+    return sim, faults, controller
+
+
+def mark_program(level=5):
+    return (ProgramBuilder("mark")
+            .install_function("mark_packet", mark_packet,
+                              global_schema=MARK_SCHEMA)
+            .install_rule("*", "mark_packet")
+            .set_global("mark_packet", "level", level)
+            .done())
+
+
+def run_until_terminal(sim, orch, horizon_ms=2_000):
+    while orch.state not in ("done", "rolled-back", "aborted") and \
+            sim.now < horizon_ms * MS:
+        sim.run(until_ns=sim.now + 10 * MS)
+
+
+class TestHappyPath:
+    def test_rollout_converges_and_installs_everywhere(self):
+        sim, _, controller = make_fleet(6)
+        hosts = [f"h{i + 1}" for i in range(6)]
+        orch = FleetOrchestrator(
+            controller.plane, RolloutPlan.by_percent(hosts),
+            mark_program(), scheduler=sim)
+        orch.start()
+        run_until_terminal(sim, orch)
+        assert orch.state == DONE
+        for host in hosts:
+            enclave = controller.enclave(host)
+            assert enclave.functions() == ["mark_packet"]
+            assert enclave.query_global("mark_packet")["level"] == 5
+            assert controller.plane.in_sync(host)
+        assert all(s.state == CONFIRMED
+                   for s in orch.host_status.values())
+        assert orch.time_to_last_ack_ns is not None
+        assert orch.time_to_converged_ns is not None
+        assert orch.time_to_last_ack_ns <= orch.time_to_converged_ns
+
+    def test_waves_start_in_order_canary_first(self):
+        sim, _, controller = make_fleet(6)
+        hosts = [f"h{i + 1}" for i in range(6)]
+        started, confirmed = [], []
+        orch = FleetOrchestrator(
+            controller.plane, RolloutPlan.by_percent(hosts),
+            mark_program(), scheduler=sim)
+        orch.on_wave_start = lambda o, r: started.append(r.index)
+        orch.on_wave_confirmed = \
+            lambda o, r: confirmed.append(r.index)
+        orch.start()
+        run_until_terminal(sim, orch)
+        n_waves = len(orch.plan.waves)
+        assert started == list(range(n_waves))
+        assert confirmed == list(range(n_waves))
+        assert len(orch.plan.waves[0].hosts) == 1  # canary
+
+    def test_converges_under_loss(self):
+        sim, _, controller = make_fleet(8, seed=3, loss=0.2)
+        hosts = [f"h{i + 1}" for i in range(8)]
+        orch = FleetOrchestrator(
+            controller.plane, RolloutPlan.by_percent(hosts),
+            mark_program(), scheduler=sim)
+        orch.start()
+        run_until_terminal(sim, orch, horizon_ms=5_000)
+        assert orch.state == DONE
+        assert all(controller.plane.in_sync(h) for h in hosts)
+
+    def test_settle_window_separates_waves(self):
+        sim, _, controller = make_fleet(4)
+        hosts = [f"h{i + 1}" for i in range(4)]
+        orch = FleetOrchestrator(
+            controller.plane,
+            RolloutPlan.explicit([["h1"], ["h2", "h3", "h4"]]),
+            mark_program(), scheduler=sim,
+            config=RolloutConfig(settle_ns=50 * MS))
+        orch.start()
+        run_until_terminal(sim, orch)
+        assert orch.state == DONE
+        w0, w1 = orch.waves
+        assert w1.started_ns - w0.confirmed_ns >= 50 * MS
+
+    def test_epoch_health_gate_requires_reports(self):
+        sim, _, controller = make_fleet(4)
+        hosts = [f"h{i + 1}" for i in range(4)]
+        for host in hosts:
+            controller.agent(host).start_reporting(5 * MS)
+        orch = FleetOrchestrator(
+            controller.plane, RolloutPlan.by_percent(hosts),
+            mark_program(), scheduler=sim,
+            gate=EpochHealthGate(max_report_age_ns=20 * MS,
+                                 require_functions=("mark_packet",)))
+        orch.start()
+        run_until_terminal(sim, orch)
+        assert orch.state == DONE
+        # Confirmation waited for a report at the target epoch.
+        for status in orch.host_status.values():
+            report = controller.plane.latest_report[status.host]
+            assert report.applied_epoch >= 1
+            assert "mark_packet" in report.stats
+
+
+class TestPauseResume:
+    def test_pause_blocks_progress_resume_completes(self):
+        sim, _, controller = make_fleet(4)
+        hosts = [f"h{i + 1}" for i in range(4)]
+        orch = FleetOrchestrator(
+            controller.plane,
+            RolloutPlan.explicit([["h1"], ["h2", "h3", "h4"]]),
+            mark_program(), scheduler=sim)
+        orch.start()
+        orch.pause()
+        sim.run(until_ns=200 * MS)
+        assert orch.state == PAUSED
+        # Wave 1 never started while paused (wave 0's sends were
+        # already in flight, but the orchestrator did not advance).
+        assert orch.waves[1].started_ns < 0
+        assert controller.enclave("h2").functions() == []
+        orch.resume()
+        run_until_terminal(sim, orch)
+        assert orch.state == DONE
+        assert controller.enclave("h2").functions() == \
+            ["mark_packet"]
+
+    def test_start_twice_rejected(self):
+        sim, _, controller = make_fleet(2)
+        orch = FleetOrchestrator(
+            controller.plane, RolloutPlan.explicit([["h1", "h2"]]),
+            mark_program(), scheduler=sim)
+        orch.start()
+        with pytest.raises(Exception):
+            orch.start()
+
+
+class TestEpochFencing:
+    def test_stale_install_nacked_after_rollout(self):
+        sim, _, controller = make_fleet(3, seed=2, loss=0.1)
+        hosts = ["h1", "h2", "h3"]
+        orch = FleetOrchestrator(
+            controller.plane, RolloutPlan.by_percent(hosts),
+            mark_program(), scheduler=sim)
+        orch.start()
+        run_until_terminal(sim, orch)
+        assert orch.state == DONE
+        plane = controller.plane
+        before = plane.stale_nacks_seen
+        # A zombie wave from the past: epoch 1 is far behind the
+        # rollout's epochs, so the agent must Nack, not apply.
+        plane.endpoint.send(
+            plane.agent_addr("h1"),
+            InstallFunction(host="h1", epoch=1, name="zombie",
+                            source_fn=None))
+        sim.run(until_ns=sim.now + 500 * MS)
+        assert plane.stale_nacks_seen > before
+        assert "zombie" not in controller.enclave("h1").functions()

@@ -1,0 +1,66 @@
+"""RolloutPlan: wave partitioning, canary ordering, validation."""
+
+import pytest
+
+from repro.fleet import DEFAULT_PERCENTS, PlanError, RolloutPlan
+
+pytestmark = pytest.mark.fleet
+
+HOSTS_100 = [f"h{i:03d}" for i in range(100)]
+
+
+class TestByPercent:
+    def test_default_percents_partition_100_hosts(self):
+        plan = RolloutPlan.by_percent(HOSTS_100)
+        assert DEFAULT_PERCENTS == (1, 10, 40, 100)
+        assert [len(w.hosts) for w in plan.waves] == [1, 9, 30, 60]
+        assert plan.hosts() == HOSTS_100
+
+    def test_canary_wave_is_first_and_small(self):
+        plan = RolloutPlan.by_percent(HOSTS_100)
+        assert plan.canary.index == 0
+        assert len(plan.canary.hosts) == 1
+
+    def test_canary_hosts_pulled_to_front(self):
+        plan = RolloutPlan.by_percent(
+            HOSTS_100, canary_hosts=["h050"])
+        assert plan.waves[0].hosts == ("h050",)
+        assert plan.hosts()[0] == "h050"
+        assert sorted(plan.hosts()) == HOSTS_100
+
+    def test_small_fleet_still_gets_distinct_waves(self):
+        plan = RolloutPlan.by_percent(["a", "b", "c"])
+        # Every wave adds at least one new host; no empty waves.
+        assert all(len(w.hosts) >= 1 for w in plan.waves)
+        assert plan.hosts() == ["a", "b", "c"]
+        assert len(plan.waves) <= 3
+
+    def test_single_host_fleet(self):
+        plan = RolloutPlan.by_percent(["only"])
+        assert [w.hosts for w in plan.waves] == [("only",)]
+
+
+class TestExplicit:
+    def test_explicit_groups_preserved_in_order(self):
+        plan = RolloutPlan.explicit([["a"], ["b", "c"], ["d"]])
+        assert [w.hosts for w in plan.waves] == \
+            [("a",), ("b", "c"), ("d",)]
+        assert [w.index for w in plan.waves] == [0, 1, 2]
+
+    def test_duplicate_host_rejected(self):
+        with pytest.raises(PlanError):
+            RolloutPlan.explicit([["a"], ["b", "a"]])
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PlanError):
+            RolloutPlan.explicit([])
+
+    def test_empty_wave_rejected(self):
+        with pytest.raises(PlanError):
+            RolloutPlan.explicit([["a"], []])
+
+    def test_describe_mentions_every_wave(self):
+        plan = RolloutPlan.explicit([["a"], ["b", "c"]])
+        text = plan.describe()
+        assert "w0:1" in text and "w1:2" in text
+        assert "3 hosts in 2 waves" in text

@@ -1,0 +1,75 @@
+"""Sharded control fabric: placement, handoffs, determinism."""
+
+import pytest
+
+from repro.fleet import (FabricError, FleetOrchestrator,
+                         ProgramBuilder, RolloutPlan)
+from repro.fleet.bench import LiteEnclave
+from repro.fleet.shardfleet import ShardedControlFabric, ShardedFleet
+from repro.netsim.simulator import MS
+
+pytestmark = pytest.mark.fleet
+
+
+def simple_fn(packet, _global):
+    packet.priority = 1
+
+
+class TestFabric:
+    def test_validation(self):
+        with pytest.raises(FabricError):
+            ShardedControlFabric(0)
+        with pytest.raises(FabricError):
+            ShardedControlFabric(2, delay_ns=0)
+        with pytest.raises(FabricError):
+            ShardedFleet(0, 2, lambda h: LiteEnclave())
+
+    def test_hosts_round_robin_over_shards(self):
+        fleet = ShardedFleet(8, 4, lambda h: LiteEnclave())
+        shards = {fleet.fabric.shard_of(f"agent:{h}")
+                  for h in fleet.hosts}
+        assert shards == {1, 2, 3, 4}
+        # The controller lives alone on shard 0.
+        assert fleet.fabric.shard_of("controller") == 0
+
+    def test_cross_shard_messages_arrive_via_handoffs(self):
+        fleet = ShardedFleet(8, 4, lambda h: LiteEnclave(),
+                             report_interval_ns=5 * MS)
+        pendings = []
+        for host in fleet.hosts:
+            pendings.append(fleet.plane.install_function(
+                host, "simple_fn", simple_fn))
+        fleet.run(until_ns=400 * MS)
+        assert all(p.done and p.acked for p in pendings)
+        assert fleet.fabric.handoffs > 0
+        assert fleet.fabric.windows > 0
+        for host in fleet.hosts:
+            assert fleet.enclaves[host].functions() == ["simple_fn"]
+            assert fleet.plane.in_sync(host)
+
+
+class TestDeterminism:
+    def _converge(self, seed):
+        fleet = ShardedFleet(24, 4, lambda h: LiteEnclave(),
+                             seed=seed, loss=0.15,
+                             report_interval_ns=10 * MS)
+        orch = FleetOrchestrator(
+            fleet.plane, RolloutPlan.by_percent(fleet.hosts),
+            ProgramBuilder("p")
+            .install_function("simple_fn", simple_fn).done(),
+            scheduler=fleet.controller_sim)
+        orch.start()
+        while orch.state not in ("done", "rolled-back", "aborted") \
+                and fleet.fabric.now < 4_000 * MS:
+            fleet.run(until_ns=fleet.fabric.now + 50 * MS)
+        return (orch.state, orch.time_to_converged_ns,
+                fleet.fabric.events_processed, fleet.fabric.handoffs)
+
+    def test_same_seed_same_trajectory(self):
+        assert self._converge(7) == self._converge(7)
+
+    def test_lossy_rollout_converges(self):
+        state, t_conv, events, handoffs = self._converge(3)
+        assert state == "done"
+        assert t_conv is not None and t_conv > 0
+        assert events > 0 and handoffs > 0
