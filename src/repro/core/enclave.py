@@ -21,6 +21,7 @@ from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Tuple, Union)
 
 from ..lang import ast_nodes as T
+from ..lang import backends as lang_backends
 from ..lang.annotations import (DEFAULT_PACKET_SCHEMA,
                                 Field, Schema)
 from ..lang.bytecode import Program
@@ -112,9 +113,13 @@ class FunctionStats:
 class InstalledFunction:
     """An action function installed in an enclave.
 
-    Holds both backends — the bytecode program plus interpreter, and the
-    natively compiled closure — selected by ``backend`` per invocation.
-    The authoritative message/global state lives here.
+    ``backend`` selects how invocations execute: ``"interpreter"``
+    runs on the enclave's shared :class:`Interpreter` with whatever
+    dispatch it was configured with, while any name from the
+    :mod:`repro.lang.backends` registry (``tree``, ``fast``,
+    ``pycodegen``, ``native``) pins this function to that execution
+    backend regardless of the interpreter default.  The authoritative
+    message/global state lives here.
     """
 
     def __init__(self, name: str, source_fn: Union[Callable, str],
@@ -127,10 +132,16 @@ class InstalledFunction:
                  clock: Callable[[], int],
                  optimize_tail_calls: bool = True,
                  commit_packet_writes: bool = True) -> None:
-        if backend not in ("interpreter", "native"):
-            raise EnclaveError(
-                f"unknown backend {backend!r}; use 'interpreter' or "
-                f"'native'")
+        if backend == "interpreter" or backend == "native":
+            self._exec_backend = None
+        else:
+            try:
+                self._exec_backend = lang_backends.get(backend)
+            except KeyError:
+                raise EnclaveError(
+                    f"unknown backend {backend!r}; use 'interpreter' "
+                    f"or one of the registered execution backends: "
+                    f"{', '.join(lang_backends.names())}") from None
         if message_schema is not None and \
                 any(f.is_array for f in message_schema.fields):
             raise EnclaveError(
@@ -245,16 +256,19 @@ class InstalledFunction:
             (i, aref.name)
             for i, aref in enumerate(self.program.array_table)
             if aref.writable and aref.scope == "global"]
-        # Lazily built fast-dispatch batch executor (see
-        # Enclave._run_group); replace_function swaps in a fresh
-        # InstalledFunction, so a stale runner never outlives its
-        # program.
+        # Lazily built backend batch executor (see Enclave._run_group);
+        # replace_function swaps in a fresh InstalledFunction and
+        # invalidates the old program's backend caches, so a stale
+        # runner never outlives its program.
         self._batch_runner = None
 
     def execute(self, fields: Sequence[int],
                 arrays: Sequence[Sequence[int]]) -> ExecResult:
         if self.backend == "native":
             return self.native.execute(fields, arrays)
+        if self._exec_backend is not None:
+            return self._exec_backend.execute(
+                self.interpreter, self.program, fields, arrays)
         return self.interpreter.execute(self.program, fields, arrays)
 
 
@@ -401,6 +415,11 @@ _FLOW_CLASS = "enclave.flows.default"
 #: can never collide with a real message key.
 _BATCH_GUARD_KEY = object()
 
+#: Cached in InstalledFunction._batch_runner when the function's
+#: execution backend answered make_batch_runner() with None (the
+#: scalar path is already optimal), so the batch path asks only once.
+_NO_BATCH_RUNNER = object()
+
 
 class Enclave:
     """The per-host Eden enclave.
@@ -526,7 +545,12 @@ class Enclave:
                     raise EnclaveError(
                         f"function {name!r} still referenced by rule "
                         f"{rule.rule_id} in table {table.table_id}")
-        del self._functions[name]
+        removed = self._functions.pop(name)
+        # Drop every backend's compiled artifact for the removed
+        # program so no cache (fast handler lists, generated code,
+        # native closures) can outlive the function that owned it.
+        removed._batch_runner = None
+        lang_backends.invalidate(removed.program)
 
     def function(self, name: str) -> InstalledFunction:
         try:
@@ -896,19 +920,25 @@ class Enclave:
             except ConcurrencyViolation as violation:
                 group_error = violation
 
-        # Interpreter dispatch context built once per group: the
-        # fast-dispatch BatchRunner when eligible, else the scalar
-        # execute (tree dispatch, native backend, or instrumented
+        # Execution context built once per group: the function's
+        # backend supplies a batch runner when it can hoist per-call
+        # setup (fast's BatchRunner, pycodegen's CodegenRunner), else
+        # the scalar execute (tree, native, or instrumented
         # interpreters, which must keep their per-invocation spans).
         runner = None
-        if fn.backend == "interpreter" and \
-                self.interpreter.dispatch == "fast" and \
+        if fn.backend != "native" and \
                 self.interpreter.telemetry is None:
             runner = fn._batch_runner
             if runner is None:
-                from ..lang.fastdispatch import BatchRunner
-                runner = BatchRunner(self.interpreter, fn.program)
-                fn._batch_runner = runner
+                backend_obj = (fn._exec_backend
+                               if fn._exec_backend is not None
+                               else self.interpreter._backend)
+                runner = backend_obj.make_batch_runner(
+                    self.interpreter, fn.program)
+                fn._batch_runner = (runner if runner is not None
+                                    else _NO_BATCH_RUNNER)
+            elif runner is _NO_BATCH_RUNNER:
+                runner = None
 
         acct = self.accounting
         acct_on = acct.enabled
@@ -919,8 +949,8 @@ class Enclave:
         fields = fn._field_buf
         arrays = fn._array_buf
         execute = runner.run if runner is not None else fn.execute
-        exec_bucket = ("interpreter" if fn.backend == "interpreter"
-                       else "native")
+        exec_bucket = ("native" if fn.backend == "native"
+                       else "interpreter")
         # The commit plan, unpacked once per group; per-packet this
         # mirrors Enclave._commit exactly.
         packet_writes = (fn._packet_writes
@@ -1058,6 +1088,12 @@ class Enclave:
         replacement.global_store = old.global_store
         replacement.message_store = old.message_store
         self._functions[name] = replacement
+        # Explicitly invalidate every backend cache keyed on the old
+        # program: the swap already unlinks it from the data path, but
+        # a controller (or test) holding the old Program must never be
+        # able to run a stale compiled handler again.
+        old._batch_runner = None
+        lang_backends.invalidate(old.program)
         return replacement
 
     def query_rules(self, table_id: int = 0) -> List[MatchRule]:
@@ -1183,13 +1219,13 @@ class Enclave:
                 result.faults += 1
                 self._m_faults.inc()
                 self.accounting.record(
-                    "interpreter" if fn.backend == "interpreter"
-                    else "native",
+                    "native" if fn.backend == "native"
+                    else "interpreter",
                     self.accounting.now() - t1)
                 return
             self.accounting.record(
-                "interpreter" if fn.backend == "interpreter"
-                else "native",
+                "native" if fn.backend == "native"
+                else "interpreter",
                 self.accounting.now() - t1)
 
             t2 = self.accounting.now()

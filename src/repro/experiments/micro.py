@@ -11,6 +11,8 @@ injecting code at runtime" claim.
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Tuple
@@ -86,13 +88,14 @@ def _timed_run(spec: DemoSpec, backend: str, packets: int,
             cls = [Classification(class_name="micro.r1.msg",
                                   metadata=metadata)]
         overrides = (spec.packets or [{}])[0]
-        t0 = time.perf_counter_ns()
-        for i in range(packets):
-            packet = DemoPacket()
-            for attr, value in overrides.items():
-                setattr(packet, attr, value)
-            enclave.process_packet(packet, cls, now_ns=i)
-        elapsed = time.perf_counter_ns() - t0
+        with _gc_paused():
+            t0 = time.perf_counter_ns()
+            for i in range(packets):
+                packet = DemoPacket()
+                for attr, value in overrides.items():
+                    setattr(packet, attr, value)
+                enclave.process_packet(packet, cls, now_ns=i)
+            elapsed = time.perf_counter_ns() - t0
         best = min(best, elapsed / packets)
         fn = enclave.function(spec.function_name)
     return best, fn
@@ -127,22 +130,23 @@ def format_results(results: List[MicroResult]) -> str:
     return "\n".join(lines)
 
 
-# -- dispatch-mode micro: tree walk vs fast dispatch --------------------
+# -- dispatch-mode micro: tree walk vs fast vs codegen ------------------
 
 @dataclass
 class DispatchResult:
-    """ns/op of one program under both interpreter dispatch modes.
+    """ns/op of one program under every interpreter dispatch mode.
 
     ops/invocation is identical across modes by construction
-    (superinstructions count their constituent ops; enforced by
-    ``tests/lang/test_execstats.py``), so ns/op is directly
-    comparable.
+    (superinstructions and codegen segments count their constituent
+    ops; enforced by ``tests/lang/test_execstats.py``), so ns/op is
+    directly comparable.
     """
 
     name: str
     ops_per_invoke: int
     tree_ns_per_op: float
     fast_ns_per_op: float
+    codegen_ns_per_op: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -150,11 +154,21 @@ class DispatchResult:
             return 0.0
         return self.tree_ns_per_op / self.fast_ns_per_op
 
+    @property
+    def codegen_speedup(self) -> float:
+        if self.codegen_ns_per_op <= 0:
+            return 0.0
+        return self.tree_ns_per_op / self.codegen_ns_per_op
+
     def row(self) -> str:
-        return (f"{self.name:<18} ops {self.ops_per_invoke:4d}  "
+        line = (f"{self.name:<18} ops {self.ops_per_invoke:4d}  "
                 f"tree {self.tree_ns_per_op:7.1f} ns/op  fast "
-                f"{self.fast_ns_per_op:7.1f} ns/op  "
+                f"{self.fast_ns_per_op:7.1f} ns/op "
                 f"({self.speedup:4.2f}x)")
+        if self.codegen_ns_per_op > 0:
+            line += (f"  pycodegen {self.codegen_ns_per_op:7.1f} "
+                     f"ns/op ({self.codegen_speedup:5.2f}x)")
+        return line
 
 
 def _pias_search_snapshot(levels: int = 16):
@@ -187,6 +201,20 @@ def _pias_search_snapshot(levels: int = 16):
     return program, fields, arrays
 
 
+@contextlib.contextmanager
+def _gc_paused():
+    """Pause the cyclic GC around a timed region (timeit does the
+    same): with a large live heap — e.g. mid-test-suite — gen2
+    collections otherwise land inside the loop and dominate ns/op."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def _time_dispatch(program, fields, arrays, dispatch: str,
                    invocations: int, repeat: int) -> Tuple[float, int]:
     """Best-of-``repeat`` (ns/invocation, ops/invocation)."""
@@ -197,37 +225,42 @@ def _time_dispatch(program, fields, arrays, dispatch: str,
                             [list(a) for a in arrays])  # warm-up
     ops = result.stats.ops_executed
     best = float("inf")
-    for _ in range(repeat):
-        t0 = time.perf_counter_ns()
-        for _ in range(invocations):
-            interp.execute(program, list(fields),
-                           [list(a) for a in arrays])
-        best = min(best,
-                   (time.perf_counter_ns() - t0) / invocations)
+    with _gc_paused():
+        for _ in range(repeat):
+            t0 = time.perf_counter_ns()
+            for _ in range(invocations):
+                interp.execute(program, list(fields),
+                               [list(a) for a in arrays])
+            best = min(best,
+                       (time.perf_counter_ns() - t0) / invocations)
     return best, ops
 
 
 def run_dispatch_micro(invocations: int = 1500, repeat: int = 3,
                        levels: int = 16) -> List[DispatchResult]:
-    """ns/op before/after: tree walk vs closure-threaded dispatch."""
+    """ns/op per backend: tree walk vs fast dispatch vs codegen."""
     program, fields, arrays = _pias_search_snapshot(levels)
     results = []
     tree_ns, ops = _time_dispatch(program, fields, arrays, "tree",
                                   invocations, repeat)
     fast_ns, fast_ops = _time_dispatch(program, fields, arrays,
                                        "fast", invocations, repeat)
-    assert ops == fast_ops, "dispatch modes disagree on op count"
+    cg_ns, cg_ops = _time_dispatch(program, fields, arrays,
+                                   "pycodegen", invocations, repeat)
+    assert ops == fast_ops == cg_ops, \
+        "dispatch modes disagree on op count"
     results.append(DispatchResult(
         name=f"PIAS search x{levels}",
         ops_per_invoke=ops,
         tree_ns_per_op=tree_ns / ops,
-        fast_ns_per_op=fast_ns / ops))
+        fast_ns_per_op=fast_ns / ops,
+        codegen_ns_per_op=cg_ns / ops))
     return results
 
 
 def format_dispatch_results(results: List[DispatchResult]) -> str:
-    lines = ["Interpreter dispatch — tree walk (before) vs "
-             "closure-threaded fast dispatch (after)"]
+    lines = ["Interpreter dispatch — tree walk vs closure-threaded "
+             "fast dispatch vs pycodegen"]
     lines += [r.row() for r in results]
     return "\n".join(lines)
 
@@ -301,23 +334,27 @@ def run_batch_micro(packets: int = 4096, batch_size: int = 64,
         enclave = _batch_enclave()
         pkts = [DemoPacket() for _ in range(packets)]
         enclave.process_packet(DemoPacket(), cls, now_ns=0)  # warm-up
-        t0 = time.perf_counter_ns()
-        for packet in pkts:
-            enclave.process_packet(packet, cls, now_ns=0)
-        scalar_best = min(scalar_best,
-                          (time.perf_counter_ns() - t0) / packets)
+        with _gc_paused():
+            t0 = time.perf_counter_ns()
+            for packet in pkts:
+                enclave.process_packet(packet, cls, now_ns=0)
+            scalar_best = min(
+                scalar_best,
+                (time.perf_counter_ns() - t0) / packets)
 
         enclave = _batch_enclave()
         pkts = [DemoPacket() for _ in range(packets)]
         enclave.process_packet(DemoPacket(), cls, now_ns=0)  # warm-up
-        t0 = time.perf_counter_ns()
-        for start in range(0, packets, batch_size):
-            enclave.process_batch(
-                [(packet, cls)
-                 for packet in pkts[start:start + batch_size]],
-                now_ns=0)
-        batch_best = min(batch_best,
-                         (time.perf_counter_ns() - t0) / packets)
+        with _gc_paused():
+            t0 = time.perf_counter_ns()
+            for start in range(0, packets, batch_size):
+                enclave.process_batch(
+                    [(packet, cls)
+                     for packet in pkts[start:start + batch_size]],
+                    now_ns=0)
+            batch_best = min(
+                batch_best,
+                (time.perf_counter_ns() - t0) / packets)
     return [BatchResult(name="tag homogeneous",
                         batch_size=batch_size,
                         scalar_ns_per_packet=scalar_best,

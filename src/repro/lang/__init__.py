@@ -18,6 +18,10 @@ from .annotations import (AccessLevel, DEFAULT_PACKET_SCHEMA, Field,
                           FieldKind, Lifetime, Schema, SchemaError,
                           schema)
 from .ast_nodes import ProgramAST
+from .backends import (Backend, default_dispatch, get as get_backend,
+                       invalidate as invalidate_backends,
+                       names as backend_names, register
+                       as register_backend)
 from .bytecode import (ArrayRef, FieldRef, FunctionCode, Instr, Op,
                        Program, wrap64)
 from .compiler import CompileError, compile_action, compile_ast
@@ -28,16 +32,21 @@ from .interpreter import (ExecResult, ExecStats, Interpreter,
                           InterpreterFault)
 from .native import NativeFault, NativeFunction
 from .optimizer import optimize_function, optimize_program
+from .pycodegen import (CodegenRunner, execute_codegen,
+                        execute_codegen_batch)
 from .verifier import VerificationError, verify
 
 __all__ = [
-    "AccessLevel", "ArrayRef", "CompileError", "DEFAULT_PACKET_SCHEMA",
+    "AccessLevel", "ArrayRef", "Backend", "CodegenRunner",
+    "CompileError", "DEFAULT_PACKET_SCHEMA",
     "DslError", "ExecResult", "ExecStats", "Field", "FieldKind",
     "FieldRef", "FunctionCode", "Instr", "Interpreter",
     "InterpreterFault", "Lifetime", "NativeFault", "NativeFunction",
     "Op", "Program", "ProgramAST", "Schema", "SchemaError",
-    "VerificationError", "compile_action", "compile_ast",
-    "compile_fast_dispatch", "execute_fast", "fast_code", "lower",
-    "optimize_function", "optimize_program", "quote", "schema",
-    "verify", "wrap64",
+    "VerificationError", "backend_names", "compile_action",
+    "compile_ast", "compile_fast_dispatch", "default_dispatch",
+    "execute_codegen", "execute_codegen_batch", "execute_fast",
+    "fast_code", "get_backend", "invalidate_backends", "lower",
+    "optimize_function", "optimize_program", "quote",
+    "register_backend", "schema", "verify", "wrap64",
 ]

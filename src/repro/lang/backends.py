@@ -1,0 +1,243 @@
+"""Execution-backend registry for :mod:`repro.lang`.
+
+Every way of running a compiled :class:`~repro.lang.bytecode.Program`
+— the tree-walk reference, closure-threaded fast dispatch, generated
+straight-line Python, and the AST-level native compiler — lives behind
+one :class:`Backend` protocol.  Consumers (the :class:`Interpreter`,
+the enclave's batch runner, ``bench-smoke``, the CLI ``--backend``
+flags) resolve backends by name through :func:`get` instead of
+hard-coding dispatch modes, so adding an execution strategy (SoA
+vectorization, trace specialization, ...) is one ``register()`` call,
+not a fork of the interpreter.
+
+The contract, enforced by the five-backend differential harness in
+``tests/lang/test_differential.py``:
+
+* ``tree``, ``fast`` and ``pycodegen`` are bit-for-bit equivalent —
+  results, :class:`ExecStats`, fault class and fault *reason*.
+* ``native`` agrees on the ok/fault outcome and, when ok, on
+  ``(value, fields, arrays)``; its stats are empty and its fault
+  wording is its own (it runs Python semantics, not the bytecode VM).
+* ``execute_batch`` entries are bit-identical to back-to-back
+  ``execute`` calls on a shared interpreter (RNG state threads
+  through); faults are isolated per snapshot.
+
+Backends may cache compiled artifacts on ``Program`` instances;
+:func:`invalidate` (or ``Backend.invalidate``) must drop every such
+artifact — the enclave calls it whenever a function is replaced or
+removed so stale handlers can never run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .bytecode import Program
+from .interpreter import ExecResult, InterpreterFault
+
+#: Environment variable overriding the default dispatch for every
+#: ``Interpreter`` constructed without an explicit one.  CI's codegen
+#: job sets ``REPRO_DISPATCH=pycodegen`` to force the generated-code
+#: backend through every enclave/stack path.
+DISPATCH_ENV = "REPRO_DISPATCH"
+
+
+def default_dispatch() -> str:
+    return os.environ.get(DISPATCH_ENV, "fast")
+
+
+class Backend:
+    """One way to execute compiled programs.
+
+    Subclasses override :meth:`execute` (required) and, when they can
+    do better than the generic scalar loop, :meth:`execute_batch` and
+    :meth:`make_batch_runner`.  ``interp`` carries the limits
+    (``max_operand_stack``, ``max_call_depth``, ``max_heap_words``,
+    ``op_budget``) plus the ``rng``/``clock`` sources; backends must
+    honor all of them to keep fault parity.
+    """
+
+    #: Registry key, e.g. ``"fast"``.
+    name: str = ""
+
+    def execute(self, interp, program: Program,
+                fields: Sequence[int],
+                arrays: Sequence[Sequence[int]],
+                args: Sequence[int] = ()) -> ExecResult:
+        raise NotImplementedError
+
+    def execute_batch(self, interp, program: Program,
+                      snapshots: Sequence[Tuple[Sequence[int],
+                                                Sequence[
+                                                    Sequence[int]]]],
+                      args: Sequence[int] = ()) -> List[object]:
+        """Scalar fallback: per-snapshot execute, faults isolated."""
+        out: List[object] = []
+        for fields, arrays in snapshots:
+            try:
+                out.append(self.execute(interp, program, fields,
+                                        arrays, args))
+            except InterpreterFault as fault:
+                out.append(fault)
+        return out
+
+    def make_batch_runner(self, interp, program: Program):
+        """An object with ``.run(fields, arrays, args=())`` hoisting
+        per-call setup across a batch group, or None when the scalar
+        path is already optimal for this backend."""
+        return None
+
+    def invalidate(self, program: Program) -> bool:
+        """Drop any compiled artifact cached on ``program``.
+
+        Returns True when something was dropped.  Must be safe to call
+        on programs this backend has never seen.
+        """
+        return False
+
+    def stats(self) -> Dict[str, int]:
+        """Backend-level counters (compiles, cache churn, ...)."""
+        return {}
+
+
+class TreeBackend(Backend):
+    """The decode-per-op reference loop (``Interpreter.execute_tree``)."""
+
+    name = "tree"
+
+    def execute(self, interp, program, fields, arrays, args=()):
+        return interp.execute_tree(program, fields, arrays, args)
+
+
+class FastBackend(Backend):
+    """Closure-threaded dispatch with mined superinstructions."""
+
+    name = "fast"
+
+    def execute(self, interp, program, fields, arrays, args=()):
+        from .fastdispatch import execute_fast
+        return execute_fast(interp, program, fields, arrays, args)
+
+    def execute_batch(self, interp, program, snapshots, args=()):
+        from .fastdispatch import execute_fast_batch
+        return execute_fast_batch(interp, program, snapshots, args)
+
+    def make_batch_runner(self, interp, program):
+        from .fastdispatch import BatchRunner
+        return BatchRunner(interp, program)
+
+    def invalidate(self, program):
+        if getattr(program, "_fast_lists", None) is not None:
+            object.__setattr__(program, "_fast_lists", None)
+            return True
+        return False
+
+
+class PycodegenBackend(Backend):
+    """Generated straight-line Python per program (zero dispatch)."""
+
+    name = "pycodegen"
+
+    def execute(self, interp, program, fields, arrays, args=()):
+        from .pycodegen import execute_codegen
+        return execute_codegen(interp, program, fields, arrays, args)
+
+    def execute_batch(self, interp, program, snapshots, args=()):
+        from .pycodegen import execute_codegen_batch
+        return execute_codegen_batch(interp, program, snapshots, args)
+
+    def make_batch_runner(self, interp, program):
+        from .pycodegen import CodegenRunner
+        return CodegenRunner(interp, program)
+
+    def invalidate(self, program):
+        from .pycodegen import invalidate
+        return invalidate(program)
+
+    def stats(self):
+        from .pycodegen import stats
+        return stats()
+
+
+class NativeBackend(Backend):
+    """AST-level compilation to plain Python (outcome parity only).
+
+    Needs the typed AST, which :func:`repro.lang.compiler.compile_action`
+    attaches to the program as ``_prog_ast``; hand-assembled programs
+    without it cannot run natively.  Stats are empty and entry
+    arguments are rejected — both documented native limitations.
+    """
+
+    name = "native"
+
+    def _function(self, interp, program):
+        from .native import NativeFunction
+
+        prog_ast = getattr(program, "_prog_ast", None)
+        if prog_ast is None:
+            raise InterpreterFault(
+                "native backend needs a compiler-produced program "
+                "(no typed AST attached)", program.name)
+        nf = getattr(program, "_native_fn", None)
+        if nf is None:
+            nf = NativeFunction(prog_ast, program, rng=interp.rng,
+                                clock=interp.clock)
+            object.__setattr__(program, "_native_fn", nf)
+        else:
+            # The compiled entry is rng/clock-agnostic; rebind the
+            # sources so a cached function follows its interpreter.
+            nf.rng = interp.rng
+            nf.clock = interp.clock
+        return nf
+
+    def execute(self, interp, program, fields, arrays, args=()):
+        return self._function(interp, program).execute(fields, arrays,
+                                                       args)
+
+    def invalidate(self, program):
+        if getattr(program, "_native_fn", None) is not None:
+            object.__setattr__(program, "_native_fn", None)
+            return True
+        return False
+
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register(backend: Backend) -> Backend:
+    """Add (or replace) a backend under ``backend.name``."""
+    if not backend.name:
+        raise ValueError("backend must define a non-empty name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY))}") from None
+
+
+def names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def invalidate(program: Program) -> Dict[str, bool]:
+    """Drop every backend's cached artifact for ``program``.
+
+    The enclave calls this on ``replace_function``/``remove_function``
+    so no backend can ever reuse a stale compiled handler.  Returns
+    ``{backend name: dropped?}`` for observability.
+    """
+    return {name: backend.invalidate(program)
+            for name, backend in _REGISTRY.items()}
+
+
+register(TreeBackend())
+register(FastBackend())
+register(PycodegenBackend())
+register(NativeBackend())

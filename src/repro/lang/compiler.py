@@ -277,4 +277,8 @@ def compile_action(fn: Union[Callable, str],
     program = compile_ast(prog_ast,
                           optimize_tail_calls=optimize_tail_calls,
                           peephole=peephole)
+    # Side-attach the typed AST so the native backend in the registry
+    # can compile this program without replumbing every call site
+    # (Program is frozen; this is a cache slot, not program identity).
+    object.__setattr__(program, "_prog_ast", prog_ast)
     return prog_ast, program

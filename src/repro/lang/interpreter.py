@@ -157,10 +157,16 @@ class Interpreter:
     enclave; it holds only configuration (limits) plus the RNG and clock
     sources, not per-invocation state.
 
-    ``dispatch`` selects the execution backend: ``"fast"`` (default)
-    runs the closure-threaded dispatch of :mod:`repro.lang.fastdispatch`;
-    ``"tree"`` runs the original decode-per-op loop.  The two are
-    semantically identical (enforced by ``tests/lang/test_differential``).
+    ``dispatch`` names the execution backend in the
+    :mod:`repro.lang.backends` registry: ``"fast"`` (default) runs the
+    closure-threaded dispatch of :mod:`repro.lang.fastdispatch`;
+    ``"tree"`` the original decode-per-op loop; ``"pycodegen"`` the
+    generated straight-line Python of :mod:`repro.lang.pycodegen`.
+    Those three are bit-for-bit identical (enforced by
+    ``tests/lang/test_differential``); any other registered backend
+    (e.g. ``"native"``) resolves the same way.  ``dispatch=None``
+    picks the default — ``"fast"``, or the ``REPRO_DISPATCH``
+    environment variable when set.
     """
 
     def __init__(self,
@@ -170,7 +176,7 @@ class Interpreter:
                  op_budget: Optional[int] = None,
                  rng: Optional[random.Random] = None,
                  clock: Optional[Callable[[], int]] = None,
-                 dispatch: str = "fast",
+                 dispatch: Optional[str] = None,
                  telemetry=None) -> None:
         self.max_operand_stack = max_operand_stack
         self.max_call_depth = max_call_depth
@@ -178,12 +184,22 @@ class Interpreter:
         self.op_budget = op_budget
         self.rng = rng if rng is not None else random.Random(0)
         self.clock = clock if clock is not None else (lambda: 0)
-        if dispatch not in ("fast", "tree"):
+        # Deferred import: backends imports from this module.
+        from . import backends as _backends
+        if dispatch is None:
+            dispatch = _backends.default_dispatch()
+        try:
+            self._backend = _backends.get(dispatch)
+        except KeyError:
             raise ValueError(
-                f"dispatch must be 'fast' or 'tree', got {dispatch!r}")
+                f"dispatch must be one of "
+                f"{', '.join(_backends.names())}; got {dispatch!r}"
+            ) from None
         self.dispatch = dispatch
         if dispatch == "fast":
-            # Deferred import: fastdispatch imports from this module.
+            # The default backend keeps its direct function reference:
+            # the hot path pays one string compare and a bound call,
+            # nothing registry-shaped.
             from .fastdispatch import execute_fast
             self._execute_fast = execute_fast
         # ``telemetry`` stays None when disabled so the hot path pays
@@ -232,7 +248,10 @@ class Interpreter:
         if self.dispatch == "fast":
             return self._execute_fast(self, program, fields, arrays,
                                       args)
-        return self.execute_tree(program, fields, arrays, args)
+        if self.dispatch == "tree":
+            return self.execute_tree(program, fields, arrays, args)
+        return self._backend.execute(self, program, fields, arrays,
+                                     args)
 
     def execute_batch(self, program: Program,
                       snapshots: Sequence[Tuple[Sequence[int],
@@ -261,14 +280,17 @@ class Interpreter:
         if self.dispatch == "fast":
             from .fastdispatch import execute_fast_batch
             return execute_fast_batch(self, program, snapshots, args)
-        out: List[object] = []
-        for fields, arrays in snapshots:
-            try:
-                out.append(self.execute_tree(program, fields, arrays,
-                                             args))
-            except InterpreterFault as fault:
-                out.append(fault)
-        return out
+        if self.dispatch == "tree":
+            out: List[object] = []
+            for fields, arrays in snapshots:
+                try:
+                    out.append(self.execute_tree(program, fields,
+                                                 arrays, args))
+                except InterpreterFault as fault:
+                    out.append(fault)
+            return out
+        return self._backend.execute_batch(self, program, snapshots,
+                                           args)
 
     def _execute_batch_instrumented(self, program: Program, snapshots,
                                     args: Sequence[int]) -> List[object]:
@@ -303,9 +325,13 @@ class Interpreter:
                 if self.dispatch == "fast":
                     result = self._execute_fast(self, program, fields,
                                                 arrays, args)
-                else:
+                elif self.dispatch == "tree":
                     result = self.execute_tree(program, fields, arrays,
                                                args)
+                else:
+                    result = self._backend.execute(self, program,
+                                                   fields, arrays,
+                                                   args)
             except InterpreterFault as fault:
                 self._m_faults.inc()
                 span.set(fault=fault.reason)

@@ -417,3 +417,95 @@ class TestEnclaveFlowStage:
         packet = FakePacket()
         assert enclave.process_packet(packet).executed == \
             ["set_priority_five"]
+
+
+def old_behavior(packet):
+    packet.priority = 1
+
+
+def new_behavior(packet):
+    packet.priority = 7
+
+
+ALL_BACKENDS = ("interpreter", "tree", "fast", "pycodegen", "native")
+
+
+class TestBackendRegistry:
+    """Enclave plumbing of the repro.lang.backends registry."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_pinned_backend_scalar_and_batch(self, backend):
+        enclave = Enclave(f"e.{backend}")
+        enclave.install_function(set_priority_five, backend=backend)
+        enclave.install_rule("*", "set_priority_five")
+        packet = FakePacket()
+        result = enclave.process_packet(packet)
+        assert result.executed == ["set_priority_five"]
+        assert packet.priority == 5
+        batch = [FakePacket() for _ in range(3)]
+        results = enclave.process_batch([(p, []) for p in batch])
+        assert all(r.executed == ["set_priority_five"]
+                   for r in results)
+        assert [p.priority for p in batch] == [5, 5, 5]
+
+    def test_registered_names_accepted_others_rejected(self, enclave):
+        from repro.lang import backend_names
+        assert set(backend_names()) == {"tree", "fast", "pycodegen",
+                                        "native"}
+        with pytest.raises(EnclaveError, match="unknown backend"):
+            enclave.install_function(set_priority_five, name="x",
+                                     backend="jit")
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_replace_runs_new_program_not_stale_handler(self, backend):
+        """Satellite regression: warm every per-program cache (scalar
+        + batch paths), hot-swap the function, and require the new
+        behavior — a stale compiled handler must never run again."""
+        enclave = Enclave(f"e.swap.{backend}")
+        fn = enclave.install_function(old_behavior, name="policy",
+                                      backend=backend)
+        enclave.install_rule("*", "policy")
+        old_program = fn.program
+        packet = FakePacket()
+        enclave.process_packet(packet)
+        enclave.process_batch([(FakePacket(), []) for _ in range(2)])
+        assert packet.priority == 1
+
+        enclave.replace_function("policy", new_behavior)
+        packet = FakePacket()
+        enclave.process_packet(packet)
+        assert packet.priority == 7
+        batch = [FakePacket() for _ in range(2)]
+        enclave.process_batch([(p, []) for p in batch])
+        assert [p.priority for p in batch] == [7, 7]
+        # The old program's compiled artifacts were dropped.
+        assert getattr(old_program, "_fast_lists", None) is None
+        assert getattr(old_program, "_pycodegen", None) is None
+        assert getattr(old_program, "_native_fn", None) is None
+
+    def test_remove_function_invalidates_backend_caches(self, enclave):
+        fn = enclave.install_function(old_behavior, name="policy",
+                                      backend="pycodegen")
+        enclave.install_rule("*", "policy")
+        old_program = fn.program
+        enclave.process_packet(FakePacket())
+        assert getattr(old_program, "_pycodegen", None) is not None
+        enclave.remove_rule(1)
+        enclave.remove_function("policy")
+        assert getattr(old_program, "_pycodegen", None) is None
+        assert fn._batch_runner is None
+
+    def test_interpreter_dispatch_env_reaches_enclave(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISPATCH", "pycodegen")
+        enclave = Enclave("e.env")
+        assert enclave.interpreter.dispatch == "pycodegen"
+        enclave.install_function(set_priority_five)
+        enclave.install_rule("*", "set_priority_five")
+        packet = FakePacket()
+        enclave.process_packet(packet)
+        assert packet.priority == 5
+        from repro.lang.pycodegen import CodegenRunner
+        enclave.process_batch([(FakePacket(), [])])
+        assert isinstance(
+            enclave.function("set_priority_five")._batch_runner,
+            CodegenRunner)

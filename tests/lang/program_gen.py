@@ -5,7 +5,7 @@ yields the same program, which makes failures reproducible from a
 single integer and lets the corpus under ``tests/lang/corpus/`` replay
 byte-identical inputs in CI.  It is shared by:
 
-* ``test_differential.py`` — the three-backend differential harness;
+* ``test_differential.py`` — the five-backend differential harness;
 * ``test_fuzz_programs.py`` — pipeline fuzzing (compile/verify/optimize);
 * ``test_optimizer_properties.py`` — optimizer equivalence properties.
 
@@ -28,7 +28,7 @@ from repro.lang.dsl import lower
 from conftest import GLB_SCHEMA, MSG_SCHEMA
 
 #: Op budget used by every differential run: far above anything the
-#: bounded loops below can execute, so tree/fast/native agree on
+#: bounded loops below can execute, so every backend agrees on
 #: termination, but a hard stop for a buggy compiled loop.
 OP_BUDGET = 200_000
 
@@ -41,6 +41,14 @@ WRITABLE = ("packet.priority", "packet.queue_id", "msg.counter",
 #: Arrays the generator touches; inputs always provide 8 elements.
 ARRAY_LEN = 8
 
+#: Generator profiles.  "default" is the historical statement mix;
+#: "loops" skews toward nested for/while bodies (back-edges, break
+#: jumps, budget pressure); "arrays" skews toward weights/scratch
+#: reads and writes (ABASE/HLOAD/HSTORE address arithmetic).  The
+#: superinstruction miner and the differential harness sweep all
+#: three so fused windows and codegen see every statement shape.
+PROFILES = ("default", "loops", "arrays")
+
 
 def lower_source(source):
     """Lower one generated source with the shared test schemas."""
@@ -49,10 +57,17 @@ def lower_source(source):
 
 
 class ProgramGen:
-    """Deterministic program generator for one seed."""
+    """Deterministic program generator for one (seed, profile)."""
 
-    def __init__(self, seed):
-        self.rng = random.Random(seed)
+    def __init__(self, seed, profile="default"):
+        if profile not in PROFILES:
+            raise ValueError(f"unknown profile {profile!r}; "
+                             f"use one of {PROFILES}")
+        # "default" keeps the historical seed -> program mapping;
+        # other profiles derive an independent stream per profile.
+        self.rng = random.Random(
+            seed if profile == "default" else f"{profile}:{seed}")
+        self.profile = profile
         self._loop_vars = []
         self._uid = 0
 
@@ -65,9 +80,12 @@ class ProgramGen:
         roll = rng.random()
         if roll < 0.12:
             return "len(_global.weights)"
-        if roll < 0.24 and self._loop_vars:
+        array_p = 0.24 if self.profile != "arrays" else 0.55
+        if roll < array_p and self._loop_vars:
             idx = rng.choice(self._loop_vars + ["v0", "v1"])
-            return f"_global.weights[{idx} % {ARRAY_LEN}]"
+            arr = ("weights" if self.profile != "arrays"
+                   or rng.random() < 0.5 else "scratch")
+            return f"_global.{arr}[{idx} % {ARRAY_LEN}]"
         left = self.expression(depth - 1)
         right = self.expression(depth - 1)
         return f"({left} {rng.choice(BINOPS)} {right})"
@@ -99,9 +117,21 @@ class ProgramGen:
         rng = self.rng
         pad = "    " * indent
         kinds = ["assign", "assign", "augment", "scratch"]
+        if self.profile == "arrays":
+            kinds += ["scratch", "scratch", "shuffle"]
         if depth > 0:
             kinds += ["if", "for", "while"]
+            if self.profile == "loops":
+                kinds += ["for", "for", "while"]
         kind = rng.choice(kinds)
+        if kind == "shuffle":
+            # Array-to-array traffic: read one slot, write another.
+            src = rng.choice(("weights", "scratch"))
+            i1 = rng.choice(["v0", "v1"] + self._loop_vars)
+            i2 = rng.choice(["v0", "v1"] + self._loop_vars)
+            return [f"{pad}_global.scratch[{i1} % {ARRAY_LEN}] = "
+                    f"_global.{src}[{i2} % {ARRAY_LEN}] + "
+                    f"{self.expression(0)}"]
         if kind == "assign":
             return [f"{pad}{rng.choice(WRITABLE)} = "
                     f"{self.expression()}"]
@@ -153,7 +183,8 @@ class ProgramGen:
     def program(self):
         body = ["    v0 = packet.size % 97",
                 "    v1 = msg.counter + 1"]
-        body.extend(self.block(indent=1, depth=2))
+        depth = 3 if self.profile == "loops" else 2
+        body.extend(self.block(indent=1, depth=depth))
         return ("def f(packet, msg, _global):\n"
                 + "\n".join(body) + "\n")
 
@@ -162,9 +193,9 @@ class ProgramGen:
         return self._uid
 
 
-def generate_program(seed):
-    """The canonical seed -> source mapping."""
-    return ProgramGen(seed).program()
+def generate_program(seed, profile="default"):
+    """The canonical (seed, profile) -> source mapping."""
+    return ProgramGen(seed, profile).program()
 
 
 def generate_inputs(program, seed):
@@ -284,14 +315,14 @@ BATCH_COPIES = 3
 
 def check_parity(prog_ast, program, fields, arrays, seed=3,
                  native=True):
-    """Run all four backends on one input; return an error or None.
+    """Run all five backends on one input; return an error or None.
 
-    tree vs fast must agree on everything — value, fields, arrays,
-    stats, fault class and fault reason.  native must agree on the
-    fault/ok outcome and, when ok, on (value, fields, arrays).  Batch
-    execution (the fourth backend) must agree entry-for-entry with
-    back-to-back scalar fast-dispatch calls on a shared interpreter —
-    including ``ExecStats`` and fault identity.
+    tree vs fast vs pycodegen must agree on everything — value,
+    fields, arrays, stats, fault class and fault reason.  native must
+    agree on the fault/ok outcome and, when ok, on (value, fields,
+    arrays).  Batch execution (the fifth backend) must agree
+    entry-for-entry with back-to-back scalar fast-dispatch calls on a
+    shared interpreter — including ``ExecStats`` and fault identity.
     """
     fvec, avec = vectors(program, fields, arrays)
     tree = run_interp(program, fvec, avec, "tree", seed=seed)
@@ -299,6 +330,11 @@ def check_parity(prog_ast, program, fields, arrays, seed=3,
     if tree != fast:
         return (f"tree/fast divergence on fields={fields!r} "
                 f"arrays={arrays!r}:\n  tree={tree!r}\n  fast={fast!r}")
+    codegen = run_interp(program, fvec, avec, "pycodegen", seed=seed)
+    if tree != codegen:
+        return (f"tree/pycodegen divergence on fields={fields!r} "
+                f"arrays={arrays!r}:\n  tree={tree!r}\n"
+                f"  pycodegen={codegen!r}")
     snapshots = [(fvec, avec)] * BATCH_COPIES
     batch = run_interp_batch(program, snapshots, "fast", seed=seed)
     scalar = run_interp_seq(program, snapshots, "fast", seed=seed)

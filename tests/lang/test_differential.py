@@ -1,20 +1,23 @@
-"""Four-backend differential harness: tree, fast, native, and batch.
+"""Five-backend differential harness: tree, fast, pycodegen, native,
+and batch.
 
-This is the correctness guard for the fast-dispatch interpreter and the
-enclave hot path: every DSL program in the repo (the §5 functions
-library via ``table1()``) plus hundreds of seeded fuzz programs run
-through
+This is the correctness guard for every execution backend in the
+:mod:`repro.lang.backends` registry and the enclave hot path: every
+DSL program in the repo (the §5 functions library via ``table1()``)
+plus hundreds of seeded fuzz programs — across the default, loop-heavy
+and array-heavy generator profiles — run through
 
 * the original decode-per-op tree walk  (``Interpreter(dispatch="tree")``),
 * the closure-threaded fast dispatch    (``Interpreter(dispatch="fast")``),
+* generated straight-line Python        (``Interpreter(dispatch="pycodegen")``),
 * the native compiled backend           (``repro.lang.native``),
 * batched execution                     (``Interpreter.execute_batch``),
 
-on randomized-but-seeded inputs.  tree and fast must agree bit-for-bit
-on ``(value, fields, arrays)``, on ``ExecStats``, and on the fault
-class *and reason*; native must agree on the fault/ok outcome and the
-result triple (its fault wording legitimately differs — see
-``program_gen.run_native``).  Batch execution must agree
+on randomized-but-seeded inputs.  tree, fast and pycodegen must agree
+bit-for-bit on ``(value, fields, arrays)``, on ``ExecStats``, and on
+the fault class *and reason*; native must agree on the fault/ok
+outcome and the result triple (its fault wording legitimately differs
+— see ``program_gen.run_native``).  Batch execution must agree
 entry-for-entry with back-to-back scalar calls on a shared
 interpreter, including stats and fault identity — batching is an
 optimization, never a semantic.
@@ -53,6 +56,8 @@ pytestmark = pytest.mark.differential
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
 #: ≥200 seeded fuzz programs (acceptance criterion).
 FUZZ_SEEDS = range(240)
+#: Seeds per non-default generator profile (loops / arrays).
+PROFILE_SEEDS = range(60)
 #: Distinct seeded input snapshots per program.
 INPUTS_PER_PROGRAM = 2
 
@@ -95,7 +100,7 @@ class TestLibraryPrograms:
 
 
 class TestFuzzedPrograms:
-    """Seeded random programs through all three backends."""
+    """Seeded random programs through all five backends."""
 
     @pytest.mark.parametrize("seed", FUZZ_SEEDS)
     def test_backends_agree(self, seed):
@@ -110,6 +115,24 @@ class TestFuzzedPrograms:
                 path = _persist_failure(source, fields, arrays, seed)
                 pytest.fail(
                     f"seed {seed}: {err}\n"
+                    f"minimized reproducer saved to {path}")
+
+    @pytest.mark.parametrize("profile", ("loops", "arrays"))
+    @pytest.mark.parametrize("seed", PROFILE_SEEDS)
+    def test_profiled_backends_agree(self, profile, seed):
+        """Loop-heavy and array-heavy sweeps of the same property."""
+        source = pg.generate_program(seed, profile=profile)
+        prog_ast = pg.lower_source(source)
+        program = compile_ast(prog_ast)
+        for i in range(INPUTS_PER_PROGRAM):
+            fields, arrays = pg.generate_inputs(program,
+                                                seed * 31 + i)
+            err = pg.check_parity(prog_ast, program, fields, arrays)
+            if err is not None:
+                path = _persist_failure(source, fields, arrays,
+                                        f"{profile}{seed}")
+                pytest.fail(
+                    f"profile {profile} seed {seed}: {err}\n"
                     f"minimized reproducer saved to {path}")
 
     def test_fuzz_exercises_both_outcomes(self):
